@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every module in this directory regenerates one table or figure from the
+paper (see DESIGN.md's experiment index). Conventions:
+
+* each experiment's core computation runs under the ``benchmark``
+  fixture, so ``pytest benchmarks/ --benchmark-only`` both times it and
+  executes its assertions;
+* qualitative *shape* assertions (who wins, where crossovers fall)
+  guard the reproduction — absolute numbers are expected to differ from
+  the authors' 1999 testbed;
+* each module prints the same rows/series the paper reports, via
+  :func:`report` (shown with ``pytest -s``; always embedded in the
+  benchmark's ``extra_info`` for machine consumption).
+"""
+
+import numpy as np
+import pytest
+
+
+def report(title, lines):
+    """Print a paper-style table; returns the rendered text."""
+    text = "\n".join([f"--- {title} ---", *lines])
+    print("\n" + text)
+    return text
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive computation with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

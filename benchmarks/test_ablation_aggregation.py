@@ -1,0 +1,69 @@
+"""Ablation: the Section 6.2 aggregation choice (max vs mean vs min).
+
+The paper argues for ranking by the *maximum* LOF over the MinPts
+range: the minimum "may erase the outlying nature of an object
+completely" and the mean "may have the effect of diluting" it. This
+ablation quantifies both effects on the Figure 8 dataset, where S1's
+objects are outlying only within a band of MinPts values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import lof_range
+from repro.datasets import make_fig8_dataset
+
+from conftest import report, run_once
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return make_fig8_dataset(seed=0)
+
+
+def test_aggregation_ablation(benchmark, fig8):
+    res = run_once(benchmark, lof_range, fig8.X, 10, 50)
+    s1 = fig8.members("S1")
+    s3 = fig8.members("S3")
+
+    lines = ["aggregate   S1 mean score   S3 max score   S1 detected (>1.5)"]
+    detection = {}
+    s1_score = {}
+    for agg in ("max", "mean", "min"):
+        scores = res.aggregate_as(agg)
+        detected = (scores[s1] > 1.5).mean()
+        detection[agg] = detected
+        s1_score[agg] = scores[s1].mean()
+        lines.append(
+            f"{agg:9s}   {scores[s1].mean():13.2f}   {scores[s3].max():12.2f}   {detected:18.0%}"
+        )
+    report("Ablation: aggregation over the MinPts range", lines)
+
+    # max: every S1 object detected; min: none (their outlying band is
+    # completely erased by the quiet MinPts values — the paper's
+    # "may erase the outlying nature" warning); mean: diluted between
+    # the two (here still above threshold, but markedly weaker).
+    assert detection["max"] == 1.0
+    assert detection["min"] == 0.0
+    assert s1_score["min"] < s1_score["mean"] < s1_score["max"]
+    assert s1_score["mean"] < 0.75 * s1_score["max"]  # quantified dilution
+
+    # The deep cluster S3 stays quiet under every aggregate: its bulk
+    # sits at 1, and at most a stray fringe point (small-MinPts noise)
+    # crosses the reporting threshold.
+    for agg in ("max", "mean", "min"):
+        scores = res.aggregate_as(agg)
+        assert np.median(scores[s3]) < 1.15
+        # A Gaussian fringe picks up a few weak outliers (the figure-7
+        # effect), strongest under max, muted under mean, gone under min.
+        limit = {"max": 0.10, "mean": 0.06, "min": 0.03}[agg]
+        assert (scores[s3] > 1.5).mean() < limit
+
+
+def test_max_aggregation_preserves_ranking_stability(benchmark, fig8):
+    """The max-aggregate ranking puts all of S1 above all of S3 —
+    the property the paper's heuristic is designed for."""
+    res = run_once(benchmark, lof_range, fig8.X, 10, 50)
+    s1 = fig8.members("S1")
+    s3 = fig8.members("S3")
+    assert res.scores[s1].min() > np.quantile(res.scores[s3], 0.99)

@@ -1,0 +1,85 @@
+"""Figure 1 / Section 3: dataset DS1 and the DB-outlier impossibility.
+
+The paper's motivating experiment: on DS1 (sparse cluster C1, dense
+cluster C2, outliers o1 and o2) the distance-based definition can flag
+o1 but *cannot* flag o2 without also flagging C1, whereas LOF ranks o1
+and o2 as the top two outliers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import lof_scores
+from repro.baselines import db_outliers, find_isolating_parameters
+from repro.datasets import make_ds1
+
+from conftest import report, run_once
+
+
+@pytest.fixture(scope="module")
+def ds1():
+    return make_ds1(seed=0)
+
+
+def test_lof_finds_both_outliers(benchmark, ds1):
+    scores = run_once(benchmark, lof_scores, ds1.X, 20)
+    o1 = int(ds1.members("o1")[0])
+    o2 = int(ds1.members("o2")[0])
+    order = np.argsort(-scores)
+    report(
+        "Figure 1 (DS1): LOF view",
+        [
+            f"LOF(o1) = {scores[o1]:.2f}   LOF(o2) = {scores[o2]:.2f}",
+            f"max LOF within C1 = {scores[ds1.members('C1')].max():.2f}",
+            f"max LOF within C2 = {scores[ds1.members('C2')].max():.2f}",
+        ],
+    )
+    assert set(order[:2]) == {o1, o2}
+    assert scores[o2] > 1.5 * scores[ds1.members("C1")].max()
+
+
+def test_db_outliers_cannot_isolate_o2(benchmark, ds1):
+    o2 = int(ds1.members("o2")[0])
+    result = run_once(benchmark, find_isolating_parameters, ds1.X, [o2])
+    report(
+        "Figure 1 (DS1): DB(pct, dmin) search for o2",
+        [
+            f"isolating parameters found: {bool(result)}",
+            f"fewest false positives over the grid: {result.best_false_positives}",
+        ],
+    )
+    assert not result.found
+    assert result.best_false_positives >= 100  # essentially all of C1
+
+
+def test_db_outliers_can_isolate_o1(benchmark, ds1):
+    o1 = int(ds1.members("o1")[0])
+    result = run_once(benchmark, find_isolating_parameters, ds1.X, [o1])
+    report(
+        "Figure 1 (DS1): DB(pct, dmin) search for o1",
+        [f"found pct={result.pct}, dmin={None if result.dmin is None else round(result.dmin, 2)}"],
+    )
+    assert result.found
+
+
+def test_dmin_dichotomy(benchmark, ds1):
+    """Section 3's case analysis: small dmin floods C1 together with o2;
+    large dmin misses o2 entirely."""
+    o2 = int(ds1.members("o2")[0])
+    c1 = ds1.members("C1")
+
+    def both_cases():
+        small = db_outliers(ds1.X, pct=99.0, dmin=1.5)
+        large = db_outliers(ds1.X, pct=99.0, dmin=6.0)
+        return small, large
+
+    small, large = run_once(benchmark, both_cases)
+    report(
+        "Figure 1 (DS1): dmin dichotomy",
+        [
+            f"dmin=1.5 -> o2 flagged: {bool(small[o2])}, C1 flagged: {small[c1].mean():.0%}",
+            f"dmin=6.0 -> o2 flagged: {bool(large[o2])}, C1 flagged: {large[c1].mean():.0%}",
+        ],
+    )
+    assert small[o2] and small[c1].mean() > 0.9
+    assert not large[o2]

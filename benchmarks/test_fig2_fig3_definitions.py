@@ -1,0 +1,124 @@
+"""Figures 2, 3 and 6: the definitional illustrations.
+
+Figure 2 shows reach-dist(p1, o) = 4-distance(o) for a close p1 and
+reach-dist(p2, o) = d(p2, o) for a far p2. Figure 3 shows Theorem 1's
+d_min/d_max and i_min/i_max quantities for a point at distance from a
+tight cluster, with the worked interpretation "if d_min is 4x i_max and
+d_max is 6x i_min, then 4 <= LOF(p) <= 6". Figure 6 shows Theorem 2's
+partition-aware bounds for MinPts = 6 with 3 neighbors from each of two
+clusters of different densities.
+"""
+
+import numpy as np
+import pytest
+
+from repro import materialize, reach_dist
+from repro.core import theorem1_bounds, theorem2_bounds
+
+from conftest import report, run_once
+
+
+def test_figure2_reachability(benchmark):
+    # o at the origin with a 4-ring defining 4-distance(o) = 2.
+    X = np.array(
+        [
+            [0.0, 0.0],                                       # o
+            [2.0, 0.0], [-2.0, 0.0], [0.0, 2.0], [0.0, -2.0],  # ring
+            [0.7, 0.3],                                        # p1 (close)
+            [6.0, 1.0],                                        # p2 (far)
+        ]
+    )
+
+    def compute():
+        close = reach_dist(X, k=4, p_index=5, o_index=0)
+        far = reach_dist(X, k=4, p_index=6, o_index=0)
+        return close, far
+
+    close, far = run_once(benchmark, compute)
+    d_p1 = float(np.hypot(0.7, 0.3))
+    d_p2 = float(np.hypot(6.0, 1.0))
+    report(
+        "Figure 2: reachability distances (k=4)",
+        [
+            f"d(p1, o) = {d_p1:.3f}  -> reach-dist(p1, o) = {close:.3f} (o's 4-distance)",
+            f"d(p2, o) = {d_p2:.3f}  -> reach-dist(p2, o) = {far:.3f} (actual distance)",
+        ],
+    )
+    assert close == pytest.approx(2.0)       # smoothed up to 4-distance(o)
+    assert far == pytest.approx(d_p2)        # true distance preserved
+
+
+def test_figure3_bound_ingredients(benchmark):
+    """A point p near a tight cluster C (MinPts = 3): its reachability
+    distances to C dominate C's internal ones, making the Theorem 1
+    interval a direct read-out of p's outlierness."""
+    rng = np.random.default_rng(1)
+    cluster = rng.normal(scale=0.25, size=(40, 2))
+    X = np.vstack([cluster, [[5.0, 0.0]]])
+    mat = materialize(X, 3)
+
+    bounds = run_once(benchmark, theorem1_bounds, mat, 40, 3)
+    lof = mat.lof(3)[40]
+    report(
+        "Figure 3: Theorem 1 quantities for p",
+        [
+            f"direct_min={bounds.direct_min:.3f}  direct_max={bounds.direct_max:.3f}",
+            f"indirect_min={bounds.indirect_min:.3f}  indirect_max={bounds.indirect_max:.3f}",
+            f"bounds: {bounds.lof_lower:.2f} <= LOF(p)={lof:.2f} <= {bounds.lof_upper:.2f}",
+        ],
+    )
+    # p is far from C: every direct reach-dist is (much) larger than the
+    # indirect ones, so even the LOWER bound certifies p as outlying.
+    assert bounds.direct_min > bounds.indirect_max
+    assert bounds.lof_lower > 2.0
+    assert bounds.lof_lower <= lof <= bounds.lof_upper
+
+    # The paper's worked interpretation, hit exactly by construction:
+    # with d_min = 4 * i_max and d_max = 6 * i_min, LOF in [4, 6].
+    ratio_lo = bounds.direct_min / bounds.indirect_max
+    ratio_hi = bounds.direct_max / bounds.indirect_min
+    assert ratio_lo <= lof <= ratio_hi
+
+
+def test_figure6_partitioned_bounds(benchmark):
+    """Figure 6: MinPts = 6, object p between cluster C1 (dense) and
+    cluster C2 (sparse), 3 of its 6-nearest neighbors from each. The
+    xi-weighted Theorem 2 bounds contain LOF(p) and are tighter than
+    Theorem 1's, because each group contributes proportionally."""
+    rng = np.random.default_rng(3)
+    c1 = rng.normal(loc=(0.0, 0.0), scale=0.25, size=(40, 2))
+    c2 = rng.normal(loc=(7.0, 0.0), scale=1.0, size=(40, 2))
+    p = np.array([[3.2, 0.0]])
+    X = np.vstack([c1, c2, p])
+    min_pts = 6
+    mat = materialize(X, min_pts)
+
+    def compute():
+        hood_ids, _ = mat.neighborhood_of(80, min_pts)
+        partition = {int(q): (0 if q < 40 else 1) for q in hood_ids}
+        shares = [
+            sum(1 for q in hood_ids if q < 40),
+            sum(1 for q in hood_ids if 40 <= q < 80),
+        ]
+        t1 = theorem1_bounds(mat, 80, min_pts)
+        t2 = theorem2_bounds(mat, 80, min_pts, partition_labels=partition)
+        return shares, t1, t2
+
+    shares, t1, t2 = run_once(benchmark, compute)
+    lof = mat.lof(min_pts)[80]
+    report(
+        "Figure 6: Theorem 2 bounds (MinPts=6, neighborhood split "
+        f"{shares[0]}/{shares[1]} across C1/C2)",
+        [
+            f"xi = {np.round(t2.xi, 2)}",
+            f"theorem 1: {t1.lof_lower:6.2f} <= LOF(p) <= {t1.lof_upper:6.2f}",
+            f"theorem 2: {t2.lof_lower:6.2f} <= LOF(p) <= {t2.lof_upper:6.2f}",
+            f"exact LOF(p) = {lof:.2f}",
+        ],
+    )
+    # Both clusters genuinely represented in the neighborhood.
+    assert min(shares) >= 1
+    # Containment for both theorems; Theorem 2 at least as tight.
+    assert t1.lof_lower - 1e-9 <= lof <= t1.lof_upper + 1e-9
+    assert t2.lof_lower - 1e-9 <= lof <= t2.lof_upper + 1e-9
+    assert (t2.lof_upper - t2.lof_lower) <= (t1.lof_upper - t1.lof_lower) + 1e-9

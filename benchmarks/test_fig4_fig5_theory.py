@@ -1,0 +1,55 @@
+"""Figures 4 and 5: the Section 5.3 tightness curves.
+
+Figure 4 plots LOF_min and LOF_max against direct/indirect for
+pct = 1%, 5%, 10%; figure 5 plots the relative span
+(LOF_max - LOF_min)/(direct/indirect) against pct. Both are closed
+forms, so this bench regenerates the exact series and asserts the
+paper's stated observations:
+
+* the spread grows linearly in the ratio for fixed pct;
+* the relative span depends on pct alone, is small for reasonable pct,
+  and diverges as pct -> 100.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure4_curves, figure5_curve, relative_span
+
+from conftest import report, run_once
+
+
+def test_figure4_series(benchmark):
+    curves = run_once(benchmark, figure4_curves, np.linspace(1.0, 100.0, 100))
+    lines = ["ratio  " + "  ".join(f"min@{p:g}%  max@{p:g}%" for p in curves.pct_values)]
+    for col in (0, 24, 49, 99):
+        cells = "  ".join(
+            f"{curves.lof_min[row, col]:8.2f} {curves.lof_max[row, col]:8.2f}"
+            for row in range(len(curves.pct_values))
+        )
+        lines.append(f"{curves.ratios[col]:5.0f}  {cells}")
+    report("Figure 4: LOF bounds vs direct/indirect", lines)
+
+    # Spread linear in ratio for every pct (constant relative span).
+    for row, pct in enumerate(curves.pct_values):
+        spread = curves.lof_max[row] - curves.lof_min[row]
+        rel = spread / curves.ratios
+        np.testing.assert_allclose(rel, rel[0], rtol=1e-9)
+        assert rel[0] == pytest.approx(relative_span(pct))
+    # Larger pct -> wider bounds, everywhere.
+    assert np.all(np.diff(curves.lof_max, axis=0) > 0)
+    assert np.all(np.diff(curves.lof_min, axis=0) < 0)
+
+
+def test_figure5_series(benchmark):
+    pct, span = run_once(benchmark, figure5_curve, np.linspace(1.0, 99.0, 99))
+    lines = [f"pct={p:5.1f}%  relative span={s:10.4f}"
+             for p, s in zip(pct[::14], span[::14])]
+    report("Figure 5: relative span vs pct", lines)
+
+    assert np.all(np.diff(span) > 0)                 # strictly increasing
+    assert span[pct == 10.0][0] == pytest.approx(0.40404, rel=1e-4)
+    assert span[-1] > 50.0                            # approaching divergence
+    # Consistency with the closed form at every grid point.
+    f = pct / 100.0
+    np.testing.assert_allclose(span, 4 * f / (1 - f ** 2), rtol=1e-12)

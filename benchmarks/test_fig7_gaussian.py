@@ -1,0 +1,64 @@
+"""Figure 7: fluctuation of LOF within a Gaussian cluster.
+
+For MinPts from 2 to 50 on a pure Gaussian cloud, the paper plots the
+minimum, maximum and mean LOF and its standard deviation, observing:
+
+* an initial drop of the maximum as MinPts grows past ~10 (statistical
+  fluctuation of reach-dists is smoothed away);
+* non-monotonic behavior afterwards, eventually stabilizing;
+* on a *uniform* distribution, MinPts < 10 can produce LOF noticeably
+  above 1 even though nothing should be outlying — the paper's first
+  guideline for MinPtsLB >= 10.
+"""
+
+import numpy as np
+import pytest
+
+from repro import lof_scores
+from repro.analysis import sweep_min_pts
+from repro.datasets import make_gaussian_cloud, make_uniform_square
+
+from conftest import report, run_once
+
+
+def test_gaussian_fluctuation_series(benchmark):
+    X = make_gaussian_cloud(1000, dim=2, seed=0)
+    sweep = run_once(benchmark, sweep_min_pts, X, 2, 50)
+    ks = sweep.min_pts_values
+    lines = ["MinPts   min    mean    max    std"]
+    for k in (2, 5, 10, 20, 30, 40, 50):
+        row = np.flatnonzero(ks == k)[0]
+        lines.append(
+            f"{k:6d}  {sweep.lof_min[row]:.3f}  {sweep.lof_mean[row]:.3f}  "
+            f"{sweep.lof_max[row]:.3f}  {sweep.lof_std[row]:.3f}"
+        )
+    report("Figure 7: LOF statistics vs MinPts (Gaussian, n=1000)", lines)
+
+    # Initial drop of the maximum.
+    assert sweep.lof_max[ks == 10][0] < sweep.lof_max[ks == 2][0]
+    # Mean LOF hovers around 1 throughout.
+    assert np.all(np.abs(sweep.lof_mean - 1.0) < 0.25)
+    # Std stabilizes: the late-range variation is small compared to the
+    # early-range swing.
+    early = sweep.lof_std[ks <= 10]
+    late = sweep.lof_std[ks >= 30]
+    assert late.max() - late.min() < 0.5 * (early.max() - early.min())
+    # Non-monotonic overall (Section 6.1's point).
+    diffs = np.diff(sweep.lof_max)
+    assert (diffs > 0).any() and (diffs < 0).any()
+
+
+def test_uniform_minpts_lower_bound_guideline(benchmark):
+    X = make_uniform_square(1000, seed=0)
+
+    def max_lof_at(ks):
+        return {k: float(lof_scores(X, k).max()) for k in ks}
+
+    maxima = run_once(benchmark, max_lof_at, (3, 5, 10, 20, 30))
+    report(
+        "Section 6.2 guideline: max LOF on uniform data",
+        [f"MinPts={k:2d}: max LOF = {v:.3f}" for k, v in maxima.items()],
+    )
+    # Small MinPts -> spurious outliers; MinPts >= 10 -> everything ~1.
+    assert maxima[3] > maxima[10]
+    assert maxima[10] < 1.8 and maxima[30] < 1.8

@@ -1,0 +1,51 @@
+"""Figure 9: the LOF surface over the 4-cluster dataset (MinPts = 40).
+
+The paper's observations, asserted on our regenerated dataset:
+
+* objects in the two uniform clusters all have LOF ~ 1;
+* most objects in the Gaussian clusters also score ~ 1, with several
+  weak (slightly above 1) outliers on their fringes;
+* the seven planted objects have clearly the largest LOF values, each
+  reflecting the density of the cluster it is outlying relative to.
+"""
+
+import numpy as np
+import pytest
+
+from repro import lof_scores
+from repro.datasets import make_fig9_dataset
+
+from conftest import report, run_once
+
+
+def test_fig9_lof_surface(benchmark):
+    ds = make_fig9_dataset(seed=0)
+    scores = run_once(benchmark, lof_scores, ds.X, 40)
+
+    out = ds.members("outlier")
+    lines = []
+    for name in ("uniform_a", "uniform_b", "gaussian_dense", "gaussian_sparse"):
+        members = ds.members(name)
+        lines.append(
+            f"{name:16s} median={np.median(scores[members]):.3f} "
+            f"max={scores[members].max():.2f}"
+        )
+    lines.append(
+        "planted outliers: "
+        + ", ".join(f"{scores[i]:.1f}" for i in sorted(out, key=lambda i: -scores[i]))
+    )
+    report("Figure 9: LOF (MinPts=40) per component", lines)
+
+    # Uniform clusters: flat at 1.
+    for name in ("uniform_a", "uniform_b"):
+        members = ds.members(name)
+        assert np.median(scores[members]) == pytest.approx(1.0, abs=0.05)
+        assert scores[members].max() < 1.5
+    # Gaussian clusters: mostly 1 with weak fringe outliers.
+    for name in ("gaussian_dense", "gaussian_sparse"):
+        members = ds.members(name)
+        assert np.median(scores[members]) == pytest.approx(1.0, abs=0.1)
+        assert 1.2 < scores[members].max() < 3.0
+    # The planted seven dominate everything else.
+    assert set(np.argsort(-scores)[:7]) == set(out)
+    assert scores[out].min() > 2.5

@@ -1,0 +1,113 @@
+"""Section 7.2: the hockey (NHL96 stand-in) experiments.
+
+Test 1 — subspace (points, plus-minus, penalty minutes):
+    paper: Konstantinov is the only DB(0.998, 26.3044)-outlier and the
+    top LOF at 2.4; Barnaby is second at 2.0.
+Test 2 — subspace (games played, goals, shooting percentage):
+    paper: Osgood (LOF 6.0) and Lemieux (2.8) are the DB(0.997, 5)
+    outliers and the top-2 LOFs; Poapst (LOF 2.5, rank 3) is found by
+    LOF but cannot be isolated by the distance-based definition.
+
+The dmin thresholds were calibrated to the real 1995/96 league; for the
+synthetic stand-in we calibrate the analogous thresholds from the data
+(nearest-neighbor distances). Deviations from the paper's exact ranks
+are recorded in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import db_outliers
+from repro.core import lof_range, rank_outliers
+from repro.datasets import load_nhl96
+from repro.index import make_index
+
+from conftest import report, run_once
+
+
+@pytest.fixture(scope="module")
+def league():
+    return load_nhl96()
+
+
+def nn_distances(X):
+    idx = make_index("brute").fit(X)
+    return np.array(
+        [idx.query(X[i], 1, exclude=i).k_distance for i in range(len(X))]
+    )
+
+
+def test_hockey_test1_lof_ranking(benchmark, league):
+    res = run_once(benchmark, lof_range, league.test1_matrix(), 30, 50)
+    ranking = rank_outliers(res.scores, top_n=5, labels=league.names)
+    report(
+        "Hockey test 1 (points, +/-, PIM): max-LOF over MinPts 30-50",
+        [str(e) for e in ranking]
+        + ["paper: 1. Konstantinov 2.4   2. Barnaby 2.0"],
+    )
+    assert ranking[0].label == "Vladimir Konstantinov"
+    assert ranking[1].label == "Matthew Barnaby"
+    assert 1.8 <= ranking[0].score <= 3.0   # paper: 2.4
+    assert 1.6 <= ranking[1].score <= 2.6   # paper: 2.0
+
+
+def test_hockey_test1_db_agreement(benchmark, league):
+    """At a dmin calibrated to the league, the DB(0.998, dmin)-outlier
+    set is tiny and contains Konstantinov — and the LOF ranking's top
+    object is exactly that DB outlier, the paper's agreement claim."""
+    X = league.test1_matrix()
+
+    def calibrated_db():
+        nn = nn_distances(X)
+        dmin = float(np.sort(nn)[-4]) + 1e-9
+        return db_outliers(X, pct=99.8, dmin=dmin), dmin
+
+    mask, dmin = run_once(benchmark, calibrated_db)
+    flagged = [league.names[i] for i in np.flatnonzero(mask)]
+    report(
+        "Hockey test 1: DB(0.998, dmin*) outliers",
+        [f"dmin* = {dmin:.2f} (calibrated; paper used 26.3044 on the real league)",
+         f"flagged: {flagged}"],
+    )
+    assert "Vladimir Konstantinov" in flagged
+    assert len(flagged) <= 3
+
+
+def test_hockey_test2_lof_ranking(benchmark, league):
+    res = run_once(benchmark, lof_range, league.test2_matrix(), 30, 50)
+    ranking = rank_outliers(res.scores, top_n=8, labels=league.names)
+    report(
+        "Hockey test 2 (games, goals, shooting%): max-LOF over MinPts 30-50",
+        [str(e) for e in ranking]
+        + ["paper: 1. Osgood 6.0   2. Lemieux 2.8   3. Poapst 2.5"],
+    )
+    assert ranking[0].label == "Chris Osgood"
+    assert 5.0 <= ranking[0].score <= 10.0
+    labels = set(ranking.labels)
+    assert "Steve Poapst" in labels  # top-8, paper rank 3
+    poapst = league.index_of("Steve Poapst")
+    lemieux = league.index_of("Mario Lemieux")
+    assert res.scores[poapst] > 2.0   # paper: 2.5
+    assert res.scores[lemieux] > 1.7  # paper: 2.8
+    order = np.argsort(-res.scores)
+    assert int(np.where(order == lemieux)[0][0]) < 15
+
+
+def test_hockey_test2_poapst_invisible_to_db(benchmark, league):
+    """Poapst sits in a crowd of small-sample shooters: his NN distance
+    is tiny compared to Osgood's, so no dmin isolates him without
+    flooding the ranking — while LOF surfaces him locally."""
+    X = league.test2_matrix()
+    nn = run_once(benchmark, nn_distances, X)
+    poapst = league.index_of("Steve Poapst")
+    osgood = league.index_of("Chris Osgood")
+    report(
+        "Hockey test 2: nearest-neighbor isolation",
+        [
+            f"NN distance Osgood:  {nn[osgood]:8.2f}",
+            f"NN distance Poapst:  {nn[poapst]:8.2f}",
+            f"players more isolated than Poapst: {(nn > nn[poapst]).sum()}",
+        ],
+    )
+    assert nn[poapst] < 0.25 * nn[osgood]
+    assert (nn > nn[poapst]).sum() > 20

@@ -1,0 +1,99 @@
+"""Table 3 / Section 7.3: the soccer (Bundesliga 98/99 stand-in) study.
+
+The paper computes LOF over MinPts 30-50 on the 3-d subspace (games
+played, average goals per game, position code) of 375 players and
+reports every outlier with LOF > 1.5 — exactly the five players we
+plant (Preetz, Schjönberg, Butt, Kirsten, Elber), with Preetz first.
+It also publishes the dataset's summary statistics, which the stand-in
+matches (see the assertions and EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import lof_range, rank_outliers
+from repro.datasets import SOCCER_PLANTED_PLAYERS, load_bundesliga
+
+from conftest import report, run_once
+
+PAPER_TABLE3 = [
+    ("Michael Preetz", 1.87),
+    ("Michael Schjönberg", 1.70),
+    ("Hans-Jörg Butt", 1.67),
+    ("Ulf Kirsten", 1.63),
+    ("Giovane Elber", 1.55),
+]
+
+
+@pytest.fixture(scope="module")
+def league():
+    return load_bundesliga()
+
+
+def test_table3_ranking(benchmark, league):
+    res = run_once(benchmark, lof_range, league.feature_matrix(), 30, 50)
+    ranking = rank_outliers(res.scores, top_n=5, labels=league.names)
+    lines = ["rank  LOF    player              games  goals  position"]
+    for e in ranking:
+        i = e.index
+        lines.append(
+            f"{e.rank:>4}  {e.score:5.2f}  {league.names[i]:<18s}  "
+            f"{int(league.games[i]):>5}  {int(league.goals[i]):>5}  {league.position[i]}"
+        )
+    lines.append("paper: " + "; ".join(f"{n} {v}" for n, v in PAPER_TABLE3))
+    report("Table 3: soccer outliers (max-LOF, MinPts 30-50)", lines)
+
+    # The five planted players are exactly the top five, Preetz first.
+    assert set(ranking.labels) == set(SOCCER_PLANTED_PLAYERS)
+    assert ranking[0].label == "Michael Preetz"
+    # Everyone clears the paper's reporting threshold.
+    assert all(e.score > 1.5 for e in ranking)
+
+
+def test_table3_summary_footer(benchmark, league):
+    summary = run_once(benchmark, league.summary)
+    lines = [
+        f"games: median={summary['games']['median']:.0f} (paper 21) "
+        f"mean={summary['games']['mean']:.1f} (18.0) "
+        f"std={summary['games']['std']:.1f} (11.0) max={summary['games']['max']:.0f} (34)",
+        f"goals: median={summary['goals']['median']:.0f} (paper 1) "
+        f"mean={summary['goals']['mean']:.1f} (1.9) "
+        f"std={summary['goals']['std']:.1f} (3.0) max={summary['goals']['max']:.0f} (23)",
+    ]
+    report("Table 3 footer: league summary statistics", lines)
+    assert summary["games"]["max"] == 34
+    assert summary["goals"]["max"] == 23
+    assert abs(summary["games"]["mean"] - 18.0) <= 2.0
+    assert abs(summary["goals"]["mean"] - 1.9) <= 0.8
+
+
+def test_table3_position_explanations(benchmark, league):
+    """Each outlier is exceptional relative to his position cluster —
+    the explanations the paper's prose gives for Table 3."""
+
+    def facts():
+        gpg = league.goals_per_game
+        pos = np.array(league.position)
+        return {
+            "preetz_top_scorer": league.goals.max()
+            == league.goals[league.index_of("Michael Preetz")],
+            "butt_only_scoring_goalie": [
+                league.names[i]
+                for i in np.flatnonzero((pos == "Goalie") & (league.goals > 0))
+            ]
+            == ["Hans-Jörg Butt"],
+            "schjonberg_top_defense_gpg": gpg[league.index_of("Michael Schjönberg")]
+            >= gpg[pos == "Defense"].max(),
+            "kirsten_elber_high_gpg": min(
+                gpg[league.index_of("Ulf Kirsten")],
+                gpg[league.index_of("Giovane Elber")],
+            )
+            > np.quantile(gpg[pos == "Offense"], 0.95),
+        }
+
+    checks = run_once(benchmark, facts)
+    report(
+        "Table 3: domain explanations",
+        [f"{k}: {v}" for k, v in checks.items()],
+    )
+    assert all(checks.values())

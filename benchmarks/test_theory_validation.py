@@ -1,0 +1,114 @@
+"""Section 5's formal results, validated empirically at benchmark scale.
+
+Lemma 1, Theorem 1, Theorem 2 and Corollary 1, each checked over
+thousands of (object, dataset) combinations — the reproduction of the
+paper's 'detailed formal analysis' as executable statements.
+"""
+
+import numpy as np
+import pytest
+
+from repro import materialize
+from repro.analysis import validate_lemma1, validate_theorem1, validate_theorem2
+from repro.core import theorem1_bounds, theorem2_bounds
+from repro.datasets import make_performance_dataset
+
+from conftest import report, run_once
+
+
+def test_theorem1_bounds_at_scale(benchmark):
+    X = make_performance_dataset(800, dim=3, seed=2)
+    result = run_once(benchmark, validate_theorem1, X, 8)
+    spreads = [c.spread for c in result.checks]
+    report(
+        "Theorem 1 validation (n=800, MinPts=8)",
+        [
+            f"objects checked: {len(result)}",
+            f"violations: {len(result.violations)}",
+            f"median bound spread: {np.median(spreads):.3f}",
+        ],
+    )
+    assert result.all_hold
+
+
+def test_theorem2_bounds_with_cluster_partition(benchmark):
+    rng = np.random.default_rng(5)
+    c1 = rng.normal(loc=(0, 0), scale=0.5, size=(60, 2))
+    c2 = rng.normal(loc=(6, 0), scale=1.5, size=(60, 2))
+    bridge = np.array([[3.0, 0.0], [2.5, 1.0], [3.5, -1.0]])
+    X = np.vstack([c1, c2, bridge])
+    labels = np.array([0] * 60 + [1] * 60 + [0, 0, 1])
+    result = run_once(benchmark, validate_theorem2, X, 8, labels)
+    report(
+        "Theorem 2 validation (two-density bridge dataset, MinPts=8)",
+        [f"objects checked: {len(result)}", f"violations: {len(result.violations)}"],
+    )
+    assert result.all_hold
+
+
+def test_corollary1_equivalence(benchmark):
+    """Theorem 2 with one partition == Theorem 1, object by object."""
+    X = make_performance_dataset(300, dim=2, seed=3)
+    mat = materialize(X, 6)
+
+    def compare_all():
+        worst = 0.0
+        for i in range(len(X)):
+            t1 = theorem1_bounds(mat, i, 6)
+            t2 = theorem2_bounds(mat, i, 6)
+            worst = max(
+                worst,
+                abs(t1.lof_lower - t2.lof_lower),
+                abs(t1.lof_upper - t2.lof_upper),
+            )
+        return worst
+
+    worst = run_once(benchmark, compare_all)
+    report("Corollary 1 validation", [f"max |theorem1 - theorem2| = {worst:.2e}"])
+    assert worst < 1e-9
+
+
+def test_lemma1_on_uniform_cluster(benchmark):
+    xs = np.linspace(0, 11, 12)
+    grid = np.array([(x, y) for x in xs for y in xs])
+    grid = grid + np.random.default_rng(4).uniform(-0.05, 0.05, grid.shape)
+    X = np.vstack([grid, [[30.0, 30.0]]])
+    result = run_once(benchmark, validate_lemma1, X, np.arange(144), 4)
+    report(
+        "Lemma 1 validation (12x12 jittered grid, MinPts=4)",
+        [
+            f"epsilon = {result.epsilon:.2f}",
+            f"deep members: {len(result.deep_ids)}",
+            f"deep LOF range: [{result.deep_lofs.min():.3f}, {result.deep_lofs.max():.3f}]",
+        ],
+    )
+    assert result.holds
+    assert len(result.deep_ids) > 40
+    # The actual deep LOFs hug 1 far more tightly than the lemma's bound.
+    assert np.all(np.abs(result.deep_lofs - 1.0) < 0.3)
+
+
+def test_theorem1_tightness_by_neighborhood_purity(benchmark):
+    """Section 5.3's two tightness cases: bounds are tight when the
+    MinPts-neighborhood lies in a single cluster and loose when it
+    straddles clusters of different densities."""
+    rng = np.random.default_rng(6)
+    dense = rng.normal(loc=(0, 0), scale=0.3, size=(50, 2))
+    sparse = rng.normal(loc=(5, 0), scale=1.5, size=(50, 2))
+    straddler = np.array([[2.2, 0.0]])
+    X = np.vstack([dense, sparse, straddler])
+    mat = materialize(X, 8)
+
+    def spreads():
+        pure = [theorem1_bounds(mat, i, 8).lof_upper - theorem1_bounds(mat, i, 8).lof_lower
+                for i in range(10)]
+        mixed = theorem1_bounds(mat, 100, 8)
+        return float(np.median(pure)), mixed.lof_upper - mixed.lof_lower
+
+    pure_spread, mixed_spread = run_once(benchmark, spreads)
+    report(
+        "Theorem 1 tightness",
+        [f"median spread, single-cluster neighborhoods: {pure_spread:.3f}",
+         f"spread, straddling neighborhood: {mixed_spread:.3f}"],
+    )
+    assert mixed_spread > 2 * pure_spread

@@ -1,0 +1,51 @@
+"""Choosing MinPts: the Section 6 guidelines in practice.
+
+Shows, on the figure-8 dataset (clusters of 10, 35 and 500 objects),
+how the LOF of the same object swings with MinPts, why a single value
+is treacherous, and how the [MinPtsLB, MinPtsUB] + max heuristic makes
+the ranking robust. Renders the per-object LOF-vs-MinPts curves as
+ASCII sparklines.
+
+Run:  python examples/choose_min_pts.py
+"""
+
+import numpy as np
+
+from repro.analysis import outlier_onset, sweep_min_pts
+from repro.core import lof_range
+from repro.datasets import make_fig8_dataset
+from repro.viz import sparkline
+
+
+def main():
+    ds = make_fig8_dataset(seed=0)
+    sweep = sweep_min_pts(ds.X, 10, 50)
+
+    print("LOF vs MinPts (10..50), one representative per cluster:\n")
+    for name in ("S1", "S2", "S3"):
+        rep = int(ds.members(name)[0])
+        curve = sweep.profile(rep)
+        onset = outlier_onset(sweep, rep, threshold=1.5)
+        print(f"  {name} (|{name}|={len(ds.members(name))}): {sparkline(curve, lo=0.8, hi=4.0)}  "
+              f"peak={curve.max():.2f}"
+              + (f", outlying from MinPts={onset}" if onset else ", never outlying"))
+
+    print("""
+reading (matches the paper's interpretation of figure 8):
+  * S1's objects are outliers while 10 <= MinPts < |S1|+|S2|: their
+    neighborhoods reach into the larger, denser S2;
+  * around MinPts ~ 35 the S1/S2 distinction dissolves, and near 45
+    both small clusters become outlying relative to S3;
+  * S3's objects never leave LOF ~ 1.""")
+
+    # The recommended heuristic: rank by max LOF over the whole range.
+    res = lof_range(ds.X, 10, 50)
+    order = np.argsort(-res.scores)
+    top10_sets = {str(ds.label_names[ds.labels[i]]) for i in order[:10]}
+    print(f"max-LOF top-10 objects come from: {sorted(top10_sets)}")
+    print("=> the range heuristic surfaces S1 regardless of which single "
+          "MinPts a user would have guessed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Explaining outliers and scoring detectors.
+
+Two post-paper capabilities on one synthetic scenario (network-flow-
+style records with anomalies planted in specific attributes):
+
+1. *explanation* (the paper's future-work #1): which dimensions make
+   each detected outlier exceptional;
+2. *evaluation*: quantitative comparison of LOF against the global
+   baselines using labeled ground truth (precision@n / ROC-AUC /
+   average precision).
+
+Run:  python examples/explain_and_evaluate.py
+"""
+
+import numpy as np
+
+from repro import lof_scores
+from repro.analysis import (
+    average_precision,
+    dimension_contributions,
+    precision_at_n,
+    roc_auc,
+)
+from repro.baselines import knn_distance_scores, mahalanobis_scores, zscore_scores
+
+FEATURES = ("duration", "bytes_out", "bytes_in", "port_entropy")
+
+
+def make_flows(seed=0):
+    """Synthetic flow records: two service clusters + 6 anomalies, each
+    abnormal in a known dimension."""
+    rng = np.random.default_rng(seed)
+    web = np.column_stack(
+        [
+            rng.gamma(2.0, 0.5, 300),          # short durations
+            rng.normal(20, 4, 300),             # small uploads
+            rng.normal(200, 30, 300),           # larger downloads
+            rng.normal(1.0, 0.1, 300),          # low port entropy
+        ]
+    )
+    backup = np.column_stack(
+        [
+            rng.gamma(20.0, 1.0, 80),           # long transfers
+            rng.normal(500, 50, 80),            # heavy uploads
+            rng.normal(30, 5, 80),              # light downloads
+            rng.normal(1.2, 0.1, 80),           # low entropy
+        ]
+    )
+    anomalies = np.array(
+        [
+            [1.0, 20.0, 200.0, 4.5],    # port scan: entropy blows up
+            [1.2, 22.0, 210.0, 4.8],
+            [1.0, 240.0, 190.0, 1.0],   # exfiltration: uploads from a web box
+            [0.9, 260.0, 205.0, 1.1],
+            [60.0, 21.0, 195.0, 1.0],   # hung session: absurd duration
+            [55.0, 19.0, 210.0, 1.1],
+        ]
+    )
+    X = np.vstack([web, backup, anomalies])
+    labels = np.zeros(len(X), dtype=bool)
+    labels[-6:] = True
+    return X, labels
+
+
+def main():
+    X, labels = make_flows()
+    from repro.datasets import standardize
+
+    Z = standardize(X).transform(X)
+
+    scores = lof_scores(Z, min_pts=20)
+    print("=== detection quality (6 planted anomalies in 386 flows) ===")
+    contenders = {
+        "LOF (MinPts=20)": scores,
+        "kNN-distance": knn_distance_scores(Z, 20),
+        "z-score": zscore_scores(Z),
+        "Mahalanobis": mahalanobis_scores(Z),
+    }
+    print(f"{'method':16s} {'P@6':>6s} {'AUC':>7s} {'AP':>7s}")
+    for name, s in contenders.items():
+        print(
+            f"{name:16s} {precision_at_n(s, labels, 6):6.2f} "
+            f"{roc_auc(s, labels):7.3f} {average_precision(s, labels):7.3f}"
+        )
+
+    print("\n=== explanations for the LOF top-6 ===")
+    expected = {380: 3, 381: 3, 382: 1, 383: 1, 384: 0, 385: 0}
+    for i in np.argsort(-scores)[:6]:
+        exp = dimension_contributions(Z, int(i), min_pts=20)
+        guilty = FEATURES[exp.order[0]]
+        tag = ""
+        if int(i) in expected:
+            tag = " (correct)" if exp.order[0] == expected[int(i)] else " (planted elsewhere)"
+        print(f"  flow {int(i):3d}: LOF={exp.lof:5.2f}  most implicated: {guilty}{tag}")
+
+
+if __name__ == "__main__":
+    main()

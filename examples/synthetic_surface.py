@@ -1,0 +1,39 @@
+"""Figure 9 rebuilt: the LOF 'surface' over a four-cluster dataset.
+
+Renders an ASCII heat map of max-LOF per spatial bin — the terminal
+version of the paper's 3-d surface plot — and lists the strong
+outliers.
+
+Run:  python examples/synthetic_surface.py
+"""
+
+import numpy as np
+
+from repro import lof_scores
+from repro.datasets import make_fig9_dataset
+from repro.viz import ascii_heatmap
+
+
+def main():
+    ds = make_fig9_dataset(seed=0)
+    scores = lof_scores(ds.X, 40)
+
+    print("LOF surface (MinPts=40); darker glyph = larger LOF\n")
+    print(ascii_heatmap(ds.X, scores, width=72, height=24, lo=0.8, hi=5.0))
+
+    print("\ncomponent summaries:")
+    for name in ds.label_names:
+        members = ds.members(name)
+        print(f"  {name:16s} n={len(members):4d}  "
+              f"median LOF={np.median(scores[members]):.2f}  "
+              f"max={scores[members].max():.2f}")
+
+    out = ds.members("outlier")
+    print("\nstrong outliers (the seven planted objects):")
+    for i in sorted(out, key=lambda i: -scores[i]):
+        x, y = ds.X[i]
+        print(f"  LOF={scores[i]:5.2f} at ({x:6.1f}, {y:6.1f})")
+
+
+if __name__ == "__main__":
+    main()

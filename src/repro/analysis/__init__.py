@@ -1,0 +1,73 @@
+"""Analysis tooling: theory curves, MinPts sweeps, validation, explain.
+
+* :mod:`~repro.analysis.theory` — the closed forms behind figures 4-5;
+* :mod:`~repro.analysis.minpts` — LOF-vs-MinPts sweeps (figures 7-8);
+* :mod:`~repro.analysis.validation` — empirical checks of Lemma 1 and
+  Theorems 1-2;
+* :mod:`~repro.analysis.explain` — per-dimension outlier explanations
+  (the paper's first future-work direction).
+"""
+
+from .evaluation import (
+    F1Result,
+    average_precision,
+    best_f1,
+    precision_at_n,
+    recall_at_n,
+    roc_auc,
+)
+from .explain import Explanation, dimension_contributions, neighborhood_deviation
+from .minpts import MinPtsSweep, outlier_onset, sweep_min_pts
+from .stability import (
+    StabilityReport,
+    min_pts_stability,
+    subsample_stability,
+    top_k_jaccard,
+)
+from .theory import (
+    Figure4Curves,
+    figure4_curves,
+    figure5_curve,
+    lof_bound_spread,
+    lof_bounds_model,
+    relative_span,
+)
+from .validation import (
+    BoundCheck,
+    Lemma1Report,
+    ValidationReport,
+    validate_lemma1,
+    validate_theorem1,
+    validate_theorem2,
+)
+
+__all__ = [
+    "F1Result",
+    "average_precision",
+    "best_f1",
+    "precision_at_n",
+    "recall_at_n",
+    "roc_auc",
+    "Explanation",
+    "dimension_contributions",
+    "neighborhood_deviation",
+    "MinPtsSweep",
+    "outlier_onset",
+    "sweep_min_pts",
+    "StabilityReport",
+    "min_pts_stability",
+    "subsample_stability",
+    "top_k_jaccard",
+    "Figure4Curves",
+    "figure4_curves",
+    "figure5_curve",
+    "lof_bound_spread",
+    "lof_bounds_model",
+    "relative_span",
+    "BoundCheck",
+    "Lemma1Report",
+    "ValidationReport",
+    "validate_lemma1",
+    "validate_theorem1",
+    "validate_theorem2",
+]

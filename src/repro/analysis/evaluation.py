@@ -1,0 +1,133 @@
+"""Detection-quality metrics for comparing outlier methods.
+
+The paper validates LOF qualitatively (domain experts, agreement with
+DB-outliers); a modern open-source release also needs quantitative
+scorecards for labeled benchmarks. This module provides the standard
+ones, dependency-free:
+
+* :func:`precision_at_n` — fraction of true outliers in the top n;
+* :func:`recall_at_n` — fraction of true outliers recovered by the
+  top n;
+* :func:`average_precision` — area under the precision-recall curve;
+* :func:`roc_auc` — probability a random outlier outranks a random
+  inlier (ties counted half, the Mann-Whitney convention);
+* :func:`best_f1` — the best F1 over all score thresholds, with the
+  threshold achieving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+
+def _check(scores, labels) -> Tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=bool).reshape(-1)
+    if scores.shape != labels.shape:
+        raise ValidationError("scores and labels must have the same length")
+    if len(scores) == 0:
+        raise ValidationError("scores must be non-empty")
+    if not labels.any():
+        raise ValidationError("labels contain no positives")
+    if labels.all():
+        raise ValidationError("labels contain no negatives")
+    if not np.all(np.isfinite(scores)):
+        raise ValidationError("scores contain NaN or infinite values")
+    return scores, labels
+
+
+def _descending_order(scores: np.ndarray) -> np.ndarray:
+    return np.lexsort((np.arange(len(scores)), -scores))
+
+
+def precision_at_n(scores, labels, n: int) -> float:
+    """Fraction of the n highest-scoring objects that are true outliers."""
+    scores, labels = _check(scores, labels)
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    n = min(n, len(scores))
+    top = _descending_order(scores)[:n]
+    return float(labels[top].mean())
+
+
+def recall_at_n(scores, labels, n: int) -> float:
+    """Fraction of all true outliers captured by the top n."""
+    scores, labels = _check(scores, labels)
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    n = min(n, len(scores))
+    top = _descending_order(scores)[:n]
+    return float(labels[top].sum() / labels.sum())
+
+
+def average_precision(scores, labels) -> float:
+    """Area under the precision-recall curve (step interpolation)."""
+    scores, labels = _check(scores, labels)
+    order = _descending_order(scores)
+    hits = labels[order].astype(np.float64)
+    cum_hits = np.cumsum(hits)
+    ranks = np.arange(1, len(scores) + 1)
+    precision = cum_hits / ranks
+    return float(np.sum(precision * hits) / labels.sum())
+
+
+def roc_auc(scores, labels) -> float:
+    """Mann-Whitney AUC: P(score(outlier) > score(inlier)), ties = 1/2."""
+    scores, labels = _check(scores, labels)
+    pos = scores[labels]
+    neg = scores[~labels]
+    # Rank-based computation, O(n log n).
+    order = np.argsort(np.concatenate([pos, neg]), kind="stable")
+    ranks = np.empty(len(order), dtype=np.float64)
+    ranks[order] = np.arange(1, len(order) + 1)
+    # Average ranks over ties.
+    combined = np.concatenate([pos, neg])
+    sorted_vals = combined[order]
+    start = 0
+    while start < len(sorted_vals):
+        stop = start
+        while stop + 1 < len(sorted_vals) and sorted_vals[stop + 1] == sorted_vals[start]:
+            stop += 1
+        if stop > start:
+            tie_ids = order[start : stop + 1]
+            ranks[tie_ids] = ranks[tie_ids].mean()
+        start = stop + 1
+    rank_sum_pos = ranks[: len(pos)].sum()
+    auc = (rank_sum_pos - len(pos) * (len(pos) + 1) / 2.0) / (len(pos) * len(neg))
+    return float(auc)
+
+
+@dataclass
+class F1Result:
+    f1: float
+    threshold: float
+    precision: float
+    recall: float
+
+
+def best_f1(scores, labels) -> F1Result:
+    """Best F1 over all thresholds of the form 'flag score > t'."""
+    scores, labels = _check(scores, labels)
+    order = _descending_order(scores)
+    hits = labels[order].astype(np.float64)
+    cum_hits = np.cumsum(hits)
+    ranks = np.arange(1, len(scores) + 1, dtype=np.float64)
+    precision = cum_hits / ranks
+    recall = cum_hits / labels.sum()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f1 = 2 * precision * recall / (precision + recall)
+    f1[~np.isfinite(f1)] = 0.0
+    best = int(np.argmax(f1))
+    # Threshold just below the score at the cut (flag the top best+1).
+    cut_score = scores[order[best]]
+    return F1Result(
+        f1=float(f1[best]),
+        threshold=float(np.nextafter(cut_score, -np.inf)),
+        precision=float(precision[best]),
+        recall=float(recall[best]),
+    )

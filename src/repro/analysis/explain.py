@@ -1,0 +1,110 @@
+"""Outlier explanation — the paper's first 'ongoing work' direction.
+
+Section 8: "how to describe or explain why the identified local outliers
+are exceptional ... a local outlier may be outlying only on some, but
+not on all, dimensions". This module implements two complementary
+explanations:
+
+* :func:`dimension_contributions` — leave-one-dimension-out LOF deltas:
+  recompute LOF with each dimension removed; dimensions whose removal
+  normalizes the object's score are the ones it is outlying in;
+* :func:`neighborhood_deviation` — per-dimension z-scores of the object
+  against its own MinPts-neighborhood, a cheap local profile that needs
+  no recomputation.
+
+Both return the most-implicated dimensions first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts
+from ..exceptions import ValidationError
+from ..core.lof import lof_scores
+from ..core.materialization import MaterializationDB
+
+
+@dataclass
+class Explanation:
+    """Per-dimension evidence for one object's outlierness.
+
+    ``order`` lists dimensions most-implicated first; ``strength`` is
+    aligned with dimension index (not with ``order``).
+    """
+
+    index: int
+    lof: float
+    strength: np.ndarray
+    order: np.ndarray
+    kind: str
+
+    def top(self, n: int = 3) -> np.ndarray:
+        return self.order[:n]
+
+
+def dimension_contributions(
+    X,
+    i: int,
+    min_pts: int,
+    metric="euclidean",
+    dims: Optional[Sequence[int]] = None,
+) -> Explanation:
+    """Leave-one-out contribution of each dimension to LOF(i).
+
+    The contribution of dimension j is ``LOF_full(i) - LOF_without_j(i)``:
+    large positive values mean the outlierness lives in dimension j
+    (removing it makes the object ordinary).
+    """
+    X = check_data(X, min_rows=3)
+    if X.shape[1] < 2:
+        raise ValidationError("need at least 2 dimensions to explain by removal")
+    min_pts = check_min_pts(min_pts, X.shape[0])
+    i = int(i)
+    full = lof_scores(X, min_pts, metric=metric)
+    dims = range(X.shape[1]) if dims is None else dims
+    strength = np.zeros(X.shape[1])
+    for j in dims:
+        reduced = np.delete(X, j, axis=1)
+        without = lof_scores(reduced, min_pts, metric=metric)
+        strength[j] = full[i] - without[i]
+    order = np.argsort(-strength, kind="stable")
+    return Explanation(
+        index=i, lof=float(full[i]), strength=strength, order=order,
+        kind="leave-one-dimension-out",
+    )
+
+
+def neighborhood_deviation(
+    X,
+    i: int,
+    min_pts: int,
+    metric="euclidean",
+) -> Explanation:
+    """Per-dimension z-score of object i against its MinPts-neighborhood.
+
+    ``strength[j] = |x_ij - mean_j(N(i))| / std_j(N(i))`` with the
+    convention that a zero neighborhood spread and a nonzero deviation
+    yields inf (maximally implicated) and zero deviation yields 0.
+    """
+    X = check_data(X, min_rows=3)
+    min_pts = check_min_pts(min_pts, X.shape[0])
+    i = int(i)
+    mat = MaterializationDB.materialize(X, min_pts, metric=metric)
+    lof = mat.lof(min_pts)
+    ids, _ = mat.neighborhood_of(i, min_pts)
+    hood = X[ids]
+    mean = hood.mean(axis=0)
+    std = hood.std(axis=0)
+    dev = np.abs(X[i] - mean)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        strength = dev / std
+    strength[np.isnan(strength)] = 0.0  # 0/0: no deviation, no spread
+    order = np.argsort(-strength, kind="stable")
+    return Explanation(
+        index=i, lof=float(lof[i]), strength=strength, order=order,
+        kind="neighborhood-z-score",
+    )

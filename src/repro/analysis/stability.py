@@ -1,0 +1,115 @@
+"""Ranking-stability analysis.
+
+A practical question the paper's MinPts discussion raises but does not
+quantify: *how stable is the outlier ranking* under the analyst's
+choices (MinPts value, subsampling of the data)? These tools measure
+it:
+
+* :func:`top_k_jaccard` — overlap of two rankings' top-k sets;
+* :func:`min_pts_stability` — top-k agreement between every MinPts
+  value in a range and the range's max-aggregated ranking (high values
+  mean a single MinPts would have been fine; low values mean the range
+  heuristic is doing real work);
+* :func:`subsample_stability` — top-k persistence of the max-LOF
+  ranking under random subsampling, the standard robustness probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts_range, check_seed
+from ..exceptions import ValidationError
+from ..core.materialization import MaterializationDB
+from ..core.range_lof import lof_range
+
+
+def top_k_jaccard(scores_a, scores_b, k: int) -> float:
+    """Jaccard overlap of the two score vectors' top-k index sets."""
+    scores_a = np.asarray(scores_a, dtype=np.float64).reshape(-1)
+    scores_b = np.asarray(scores_b, dtype=np.float64).reshape(-1)
+    if scores_a.shape != scores_b.shape:
+        raise ValidationError("score vectors must have equal length")
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    k = min(k, len(scores_a))
+    top_a = set(np.lexsort((np.arange(len(scores_a)), -scores_a))[:k])
+    top_b = set(np.lexsort((np.arange(len(scores_b)), -scores_b))[:k])
+    return len(top_a & top_b) / len(top_a | top_b)
+
+
+@dataclass
+class StabilityReport:
+    """Per-configuration top-k agreement with a reference ranking."""
+
+    agreement: Dict  # configuration key -> Jaccard overlap
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(list(self.agreement.values())))
+
+    @property
+    def worst(self) -> float:
+        return float(np.min(list(self.agreement.values())))
+
+
+def min_pts_stability(
+    X,
+    min_pts_lb: int,
+    min_pts_ub: int,
+    k: int = 10,
+    metric="euclidean",
+) -> StabilityReport:
+    """Top-k agreement of each single-MinPts ranking with the range's
+    max-aggregated ranking."""
+    X = check_data(X, min_rows=3)
+    lb, ub = check_min_pts_range(min_pts_lb, min_pts_ub, X.shape[0])
+    res = lof_range(X, lb, ub, metric=metric)
+    agreement = {
+        int(min_pts): top_k_jaccard(res.lof_matrix[row], res.scores, k)
+        for row, min_pts in enumerate(res.min_pts_values)
+    }
+    return StabilityReport(agreement=agreement)
+
+
+def subsample_stability(
+    X,
+    min_pts: int,
+    k: int = 10,
+    fraction: float = 0.9,
+    n_trials: int = 10,
+    seed=0,
+    metric="euclidean",
+) -> StabilityReport:
+    """How persistently the full-data top-k survives subsampling.
+
+    For each trial, a random ``fraction`` of the data is kept, LOF is
+    recomputed, and the overlap between the trial's top-k (mapped back
+    to original indices) and the full-data top-k is recorded. Scores of
+    removed objects cannot appear; the overlap is computed over the
+    surviving ones.
+    """
+    X = check_data(X, min_rows=3)
+    if not 0.0 < fraction <= 1.0:
+        raise ValidationError(f"fraction must be in (0, 1], got {fraction}")
+    if n_trials < 1:
+        raise ValidationError(f"n_trials must be >= 1, got {n_trials}")
+    rng = check_seed(seed)
+    n = X.shape[0]
+    full = MaterializationDB.materialize(X, min_pts, metric=metric).lof(min_pts)
+    k = min(k, n)
+    full_top = set(np.lexsort((np.arange(n), -full))[:k])
+    agreement = {}
+    for trial in range(n_trials):
+        keep = np.sort(rng.choice(n, size=max(min_pts + 1, int(fraction * n)), replace=False))
+        sub = MaterializationDB.materialize(X[keep], min_pts, metric=metric).lof(min_pts)
+        sub_top = {int(keep[i]) for i in np.lexsort((np.arange(len(keep)), -sub))[:k]}
+        survivors = full_top & set(keep.tolist())
+        if not survivors:
+            agreement[trial] = 0.0
+            continue
+        agreement[trial] = len(sub_top & survivors) / len(sub_top | survivors)
+    return StabilityReport(agreement=agreement)

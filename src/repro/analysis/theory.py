@@ -1,0 +1,126 @@
+"""Closed-form curves of Section 5.3 (figures 4 and 5).
+
+Section 5.3 simplifies the tightness analysis with a single fluctuation
+parameter *pct*: for pct = x%,
+
+    direct_max   = direct   * (1 + x/100)
+    direct_min   = direct   * (1 - x/100)
+    indirect_max = indirect * (1 + x/100)
+    indirect_min = indirect * (1 - x/100)
+
+Under this model Theorem 1's bounds become functions of the ratio
+``direct/indirect`` and *pct* alone, and the paper derives:
+
+    (LOF_max - LOF_min) / (direct/indirect)
+        = (1 + pct/100)/(1 - pct/100) - (1 - pct/100)/(1 + pct/100)
+        = 4 (pct/100) / (1 - (pct/100)^2)
+
+Figure 4 plots LOF_min/LOF_max against direct/indirect for pct = 1, 5,
+10%; Figure 5 plots the relative span against pct. Both are reproduced
+exactly here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _check_pct(pct: ArrayLike) -> np.ndarray:
+    pct_arr = np.asarray(pct, dtype=np.float64)
+    if np.any(pct_arr < 0) or np.any(pct_arr >= 100):
+        raise ValidationError("pct must lie in [0, 100)")
+    return pct_arr
+
+
+def lof_bounds_model(
+    ratio: ArrayLike, pct: ArrayLike
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Theorem 1's bounds under the Section 5.3 fluctuation model.
+
+    Parameters
+    ----------
+    ratio : direct/indirect, the mean-reachability ratio (> 0).
+    pct : fluctuation percentage (0 <= pct < 100).
+
+    Returns
+    -------
+    (lof_min, lof_max) :
+        lof_min = ratio * (1 - pct/100) / (1 + pct/100)
+        lof_max = ratio * (1 + pct/100) / (1 - pct/100)
+    """
+    ratio_arr = np.asarray(ratio, dtype=np.float64)
+    if np.any(ratio_arr <= 0):
+        raise ValidationError("direct/indirect ratio must be > 0")
+    f = _check_pct(pct) / 100.0
+    lof_min = ratio_arr * (1.0 - f) / (1.0 + f)
+    lof_max = ratio_arr * (1.0 + f) / (1.0 - f)
+    return lof_min, lof_max
+
+
+def lof_bound_spread(ratio: ArrayLike, pct: ArrayLike) -> np.ndarray:
+    """LOF_max - LOF_min under the fluctuation model.
+
+    Linear in ``ratio`` for fixed pct — the observation Figure 4 makes
+    ("the spread grows linearly with respect to the ratio
+    direct/indirect").
+    """
+    lof_min, lof_max = lof_bounds_model(ratio, pct)
+    return lof_max - lof_min
+
+
+def relative_span(pct: ArrayLike) -> np.ndarray:
+    """(LOF_max - LOF_min) / (direct/indirect) as a function of pct only.
+
+    The paper's closed form (Section 5.3):
+
+        4 * (pct/100) / (1 - (pct/100)^2)
+
+    It is independent of the ratio — the fact that "the relative
+    fluctuation of the LOF depends only on the ratios of the underlying
+    reachability distances and not on their absolute values". Approaches
+    infinity as pct -> 100; small for reasonable pct (Figure 5).
+    """
+    f = _check_pct(pct) / 100.0
+    return 4.0 * f / (1.0 - f ** 2)
+
+
+@dataclass
+class Figure4Curves:
+    """The series plotted in Figure 4."""
+
+    ratios: np.ndarray
+    pct_values: Tuple[float, ...]
+    lof_min: np.ndarray  # (len(pct_values), len(ratios))
+    lof_max: np.ndarray
+
+
+def figure4_curves(
+    ratios=None, pct_values: Tuple[float, ...] = (1.0, 5.0, 10.0)
+) -> Figure4Curves:
+    """Upper/lower LOF bound curves vs direct/indirect (Figure 4)."""
+    if ratios is None:
+        ratios = np.linspace(1.0, 100.0, 100)
+    ratios = np.asarray(ratios, dtype=np.float64)
+    lof_min = np.empty((len(pct_values), len(ratios)))
+    lof_max = np.empty_like(lof_min)
+    for row, pct in enumerate(pct_values):
+        lof_min[row], lof_max[row] = lof_bounds_model(ratios, pct)
+    return Figure4Curves(
+        ratios=ratios, pct_values=tuple(pct_values),
+        lof_min=lof_min, lof_max=lof_max,
+    )
+
+
+def figure5_curve(pct_values=None) -> Tuple[np.ndarray, np.ndarray]:
+    """Relative span vs pct (Figure 5): returns (pct, relative_span)."""
+    if pct_values is None:
+        pct_values = np.linspace(1.0, 99.0, 99)
+    pct_values = np.asarray(pct_values, dtype=np.float64)
+    return pct_values, relative_span(pct_values)

@@ -1,0 +1,163 @@
+"""Empirical validation of the paper's formal results (Section 5).
+
+These routines check, on concrete datasets, that
+
+* Lemma 1 holds: for objects deep in a collection C,
+  1/(1+eps) <= LOF <= 1+eps with eps = reach-dist-max/reach-dist-min - 1;
+* Theorem 1 holds: direct_min/indirect_max <= LOF(p) <=
+  direct_max/indirect_min for *every* object p;
+* Theorem 2 holds for any partition of the neighborhood, and collapses
+  to Theorem 1 for the trivial partition (Corollary 1).
+
+They return structured verdicts rather than asserting, so the same code
+serves the test suite, the benchmark harness and exploratory use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts
+from ..core.bounds import (
+    deep_members,
+    lemma1_epsilon,
+    theorem1_bounds,
+    theorem2_bounds,
+)
+from ..core.materialization import MaterializationDB
+
+
+@dataclass
+class BoundCheck:
+    """Result of checking one bound statement on one object."""
+
+    index: int
+    lof: float
+    lower: float
+    upper: float
+    tolerance: float = 1e-9
+
+    @property
+    def holds(self) -> bool:
+        return (
+            self.lower - self.tolerance <= self.lof <= self.upper + self.tolerance
+        )
+
+    @property
+    def spread(self) -> float:
+        """Upper minus lower — Section 5.3's tightness measure."""
+        return self.upper - self.lower
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate verdict over many objects."""
+
+    checks: Sequence[BoundCheck]
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    @property
+    def violations(self) -> Sequence[BoundCheck]:
+        return [c for c in self.checks if not c.holds]
+
+    @property
+    def mean_spread(self) -> float:
+        return float(np.mean([c.spread for c in self.checks]))
+
+    def __len__(self) -> int:
+        return len(self.checks)
+
+
+def validate_theorem1(
+    X,
+    min_pts: int,
+    object_ids: Optional[Sequence[int]] = None,
+    metric="euclidean",
+) -> ValidationReport:
+    """Check Theorem 1's bounds for the given objects (default: all)."""
+    X = check_data(X, min_rows=3)
+    min_pts = check_min_pts(min_pts, X.shape[0])
+    mat = MaterializationDB.materialize(X, min_pts, metric=metric)
+    lof = mat.lof(min_pts)
+    ids = range(X.shape[0]) if object_ids is None else object_ids
+    checks = []
+    for i in ids:
+        b = theorem1_bounds(mat, int(i), min_pts)
+        checks.append(
+            BoundCheck(index=int(i), lof=float(lof[i]),
+                       lower=b.lof_lower, upper=b.lof_upper)
+        )
+    return ValidationReport(checks=checks)
+
+
+def validate_theorem2(
+    X,
+    min_pts: int,
+    cluster_labels,
+    object_ids: Optional[Sequence[int]] = None,
+    metric="euclidean",
+) -> ValidationReport:
+    """Check Theorem 2 using ``cluster_labels`` (one label per object of
+    ``X``) to partition each neighborhood."""
+    X = check_data(X, min_rows=3)
+    min_pts = check_min_pts(min_pts, X.shape[0])
+    cluster_labels = np.asarray(cluster_labels)
+    mat = MaterializationDB.materialize(X, min_pts, metric=metric)
+    lof = mat.lof(min_pts)
+    ids = range(X.shape[0]) if object_ids is None else object_ids
+    checks = []
+    for i in ids:
+        hood_ids, _ = mat.neighborhood_of(int(i), min_pts)
+        partition = {int(q): int(cluster_labels[q]) for q in hood_ids}
+        b = theorem2_bounds(mat, int(i), min_pts, partition_labels=partition)
+        checks.append(
+            BoundCheck(index=int(i), lof=float(lof[i]),
+                       lower=b.lof_lower, upper=b.lof_upper)
+        )
+    return ValidationReport(checks=checks)
+
+
+@dataclass
+class Lemma1Report:
+    """Lemma 1 verdict: eps and the deep objects' LOF envelope."""
+
+    epsilon: float
+    deep_ids: np.ndarray
+    deep_lofs: np.ndarray
+    tolerance: float = 1e-9
+
+    @property
+    def holds(self) -> bool:
+        if len(self.deep_ids) == 0:
+            return True  # vacuous: no deep objects to constrain
+        lo = 1.0 / (1.0 + self.epsilon)
+        hi = 1.0 + self.epsilon
+        return bool(
+            np.all(self.deep_lofs >= lo - self.tolerance)
+            and np.all(self.deep_lofs <= hi + self.tolerance)
+        )
+
+
+def validate_lemma1(
+    X,
+    cluster_ids: Sequence[int],
+    min_pts: int,
+    metric="euclidean",
+) -> Lemma1Report:
+    """Check Lemma 1 for a collection C: find its deep members and
+    verify their LOF lies in [1/(1+eps), 1+eps]."""
+    X = check_data(X, min_rows=3)
+    min_pts = check_min_pts(min_pts, X.shape[0])
+    eps = lemma1_epsilon(X, cluster_ids, min_pts, metric=metric)
+    mat = MaterializationDB.materialize(X, min_pts, metric=metric)
+    deep = deep_members(mat, cluster_ids, min_pts)
+    lof = mat.lof(min_pts)
+    return Lemma1Report(
+        epsilon=eps, deep_ids=deep, deep_lofs=lof[deep] if len(deep) else np.empty(0)
+    )

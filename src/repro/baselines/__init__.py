@@ -1,0 +1,55 @@
+"""Comparator algorithms from the paper's Sections 2-3.
+
+Every baseline the paper positions LOF against, implemented from
+scratch on the shared substrates:
+
+* distance-based DB(pct, dmin) outliers (Knorr & Ng) — Definition 2;
+* kth-NN-distance top-n ranking (Ramaswamy et al.) — reference [17];
+* depth-based outliers via 2-d hull peeling — references [16, 18];
+* DBSCAN noise — reference [7];
+* OPTICS ordering (the Section 8 handshake partner) — reference [2];
+* distribution-based z-score / Mahalanobis tests — Section 2.
+"""
+
+from .cell_based import CellStats, cell_based_db_outliers
+from .dbscan import NOISE, dbscan, dbscan_outliers, estimate_eps
+from .depth_based import convex_hull_2d, depth_outliers, peeling_depth
+from .distance_based import (
+    IsolationSearchResult,
+    db_outliers,
+    db_outliers_nested_loop,
+    find_isolating_parameters,
+)
+from .knn_distance import knn_distance_scores, top_n_knn_outliers
+from .optics import OpticsResult, optics, optics_outliers
+from .statistical import (
+    mahalanobis_outliers,
+    mahalanobis_scores,
+    zscore_outliers,
+    zscore_scores,
+)
+
+__all__ = [
+    "CellStats",
+    "cell_based_db_outliers",
+    "NOISE",
+    "dbscan",
+    "dbscan_outliers",
+    "estimate_eps",
+    "convex_hull_2d",
+    "depth_outliers",
+    "peeling_depth",
+    "IsolationSearchResult",
+    "db_outliers",
+    "db_outliers_nested_loop",
+    "find_isolating_parameters",
+    "knn_distance_scores",
+    "top_n_knn_outliers",
+    "OpticsResult",
+    "optics",
+    "optics_outliers",
+    "mahalanobis_outliers",
+    "mahalanobis_scores",
+    "zscore_outliers",
+    "zscore_scores",
+]

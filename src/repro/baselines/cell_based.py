@@ -1,0 +1,144 @@
+"""Knorr & Ng's cell-based DB-outlier algorithm (VLDB'98).
+
+The paper's reference [13] contains two algorithms for mining
+DB(pct, dmin)-outliers. The nested-loop variant lives in
+:mod:`repro.baselines.distance_based`; this module implements the
+*cell-based* algorithm, which is linear in n for small dimensionality —
+the property that made distance-based outliers practical and that the
+LOF paper's related-work section contrasts against.
+
+The construction (for the Euclidean metric):
+
+* partition space into a lattice of cells with edge length
+  ``dmin / (2 * sqrt(k))`` (k = dimensionality), so any two points in
+  the same cell are within dmin/2, and any two points in cells whose
+  lattice (Chebyshev) distance is 1 (layer L1) are within dmin;
+* points in cells at lattice distance > ``ceil(2*sqrt(k))`` (beyond
+  layer L2) are farther than dmin apart;
+* counting rules then decide whole cells at once:
+  - if |cell| + |L1 neighbors| > limit, every point in the cell has
+    too many dmin-neighbors: the whole cell is non-outlying (red);
+  - if |cell| + |L1| + |L2| <= limit, every point in the cell is an
+    outlier (every possible neighbor is already counted);
+  - only the undecided (white) cells fall back to exact distance
+    checks, and only against points in their L2 box.
+
+Results are exactly equal to the nested-loop algorithm's (asserted in
+the test suite); ``CellStats`` reports how many cells each rule
+decided, reproducing the 'most cells decided wholesale' effect.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .._validation import check_data, check_positive
+from ..exceptions import ValidationError
+from ..index import get_metric
+
+
+@dataclass
+class CellStats:
+    """Accounting of the cell-based algorithm's wholesale decisions."""
+
+    n_cells: int
+    red_cells: int        # decided non-outlying wholesale
+    outlier_cells: int    # decided outlying wholesale
+    white_cells: int      # needed exact point checks
+    exact_distance_pairs: int
+
+
+def cell_based_db_outliers(
+    X,
+    pct: float,
+    dmin: float,
+    return_stats: bool = False,
+):
+    """DB(pct, dmin)-outliers via the cell-based algorithm (Euclidean).
+
+    Returns the boolean outlier mask, or ``(mask, CellStats)`` when
+    ``return_stats`` is true. Intended for low-dimensional data (the
+    cell count grows as (1/edge)^k — precisely the limitation Knorr &
+    Ng report); the test suite cross-checks it against the nested-loop
+    algorithm.
+    """
+    X = check_data(X, min_rows=1)
+    dmin = check_positive(dmin, name="dmin")
+    if not 0.0 <= pct <= 100.0:
+        raise ValidationError(f"pct must be in [0, 100], got {pct}")
+    n, k = X.shape
+    limit = int(np.floor((100.0 - pct) / 100.0 * n))  # max allowed inside
+    metric = get_metric("euclidean")
+
+    edge = dmin / (2.0 * np.sqrt(k))
+    origin = X.min(axis=0)
+    coords = np.floor((X - origin) / edge).astype(int)
+    cells: Dict[Tuple[int, ...], List[int]] = {}
+    for i in range(n):
+        cells.setdefault(tuple(coords[i]), []).append(i)
+
+    # Layer reaches: L1 = lattice distance 1; L2 extends to the ring
+    # guaranteeing coverage of radius dmin. The +1 makes the outside-L2
+    # exclusion strict even when a pair sits at distance exactly dmin
+    # (Definition 2 counts d <= dmin as 'inside').
+    l2_reach = int(np.ceil(2.0 * np.sqrt(k))) + 1
+
+    def neighbors_within(center: Tuple[int, ...], reach: int):
+        for offsets in itertools.product(range(-reach, reach + 1), repeat=k):
+            if all(o == 0 for o in offsets):
+                continue
+            yield tuple(c + o for c, o in zip(center, offsets))
+
+    mask = np.zeros(n, dtype=bool)
+    red = outlier_cells = white = 0
+    exact_pairs = 0
+
+    for cell, members in cells.items():
+        count_self = len(members)
+        count_l1 = count_self
+        for nb in neighbors_within(cell, 1):
+            count_l1 += len(cells.get(nb, ()))
+        if count_l1 > limit:
+            red += 1
+            continue  # every member has too many close neighbors
+        count_l2 = count_l1
+        for nb in neighbors_within(cell, l2_reach):
+            if max(abs(a - b) for a, b in zip(nb, cell)) <= 1:
+                continue  # already counted in L1
+            count_l2 += len(cells.get(nb, ()))
+        if count_l2 <= limit:
+            outlier_cells += 1
+            mask[members] = True  # even counting everyone nearby: outlier
+            continue
+        # White cell: exact checks against the L2 box only. Points in
+        # the cell itself and L1 are guaranteed within dmin; points
+        # beyond L2 are guaranteed outside; only the L2 ring needs
+        # distance computations.
+        white += 1
+        ring_ids: List[int] = []
+        for nb in neighbors_within(cell, l2_reach):
+            if max(abs(a - b) for a, b in zip(nb, cell)) <= 1:
+                continue
+            ring_ids.extend(cells.get(nb, ()))
+        ring = np.array(ring_ids, dtype=int)
+        for i in members:
+            count = count_l1  # self + L1, all certainly within dmin
+            if count <= limit and len(ring):
+                dists = metric.pairwise_to_point(X[ring], X[i])
+                exact_pairs += len(ring)
+                count += int(np.count_nonzero(dists <= dmin))
+            mask[i] = count <= limit
+
+    if return_stats:
+        return mask, CellStats(
+            n_cells=len(cells),
+            red_cells=red,
+            outlier_cells=outlier_cells,
+            white_cells=white,
+            exact_distance_pairs=exact_pairs,
+        )
+    return mask

@@ -1,0 +1,93 @@
+"""Depth-based outliers via convex-hull peeling (2-d).
+
+Section 2 of the paper: depth-based approaches (Tukey depth, hull
+peeling) assign each point a depth and treat small-depth points as
+outlier candidates. Efficient algorithms exist only for k = 2 or 3;
+the k-d convex hull's Omega(n^{k/2}) lower bound makes the approach
+impractical for higher dimensions — one of the motivations for LOF.
+
+We implement the classic 2-d *peeling depth*: depth 1 points lie on the
+convex hull of D, depth 2 on the hull of what remains, and so on. The
+convex hull is Andrew's monotone chain (no external dependencies).
+This baseline demonstrates the global/binary failure mode: the dense
+cluster's rim peels at the same depth as genuine outliers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .._validation import check_data
+from ..exceptions import ValidationError
+
+
+def convex_hull_2d(points: np.ndarray) -> np.ndarray:
+    """Indices (into ``points``) of the convex hull, counter-clockwise.
+
+    Andrew's monotone chain; collinear boundary points are *included*
+    (peeling should remove every point on the hull's boundary).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValidationError("convex_hull_2d expects an (n, 2) array")
+    n = points.shape[0]
+    if n <= 2:
+        return np.arange(n)
+    order = np.lexsort((points[:, 1], points[:, 0]))
+
+    def cross(o, a, b) -> float:
+        return (points[a][0] - points[o][0]) * (points[b][1] - points[o][1]) - (
+            points[a][1] - points[o][1]
+        ) * (points[b][0] - points[o][0])
+
+    lower: List[int] = []
+    for idx in order:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], idx) < 0:
+            lower.pop()
+        lower.append(int(idx))
+    upper: List[int] = []
+    for idx in order[::-1]:
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], idx) < 0:
+            upper.pop()
+        upper.append(int(idx))
+    hull = lower[:-1] + upper[:-1]
+    # Collinear interior-of-edge points: detect by zero cross products on
+    # the hull boundary; the inclusive (< 0) pops above already keep
+    # them, but duplicates can appear for degenerate inputs.
+    return np.unique(np.array(hull, dtype=int))
+
+
+def peeling_depth(X) -> np.ndarray:
+    """Hull-peeling depth of every point of a 2-d dataset.
+
+    Depth d means the point sits on the d-th convex layer. Points left
+    over when fewer than 3 points remain take the next depth.
+    """
+    X = check_data(X, min_rows=1)
+    if X.shape[1] != 2:
+        raise ValidationError(
+            "peeling depth is implemented for 2-d data only — the paper's "
+            "point: depth-based methods do not scale beyond k=3"
+        )
+    n = X.shape[0]
+    depth = np.zeros(n, dtype=int)
+    remaining = np.arange(n)
+    current = 1
+    while len(remaining) > 0:
+        hull_local = convex_hull_2d(X[remaining])
+        hull_global = remaining[hull_local]
+        depth[hull_global] = current
+        keep = np.ones(len(remaining), dtype=bool)
+        keep[hull_local] = False
+        remaining = remaining[keep]
+        current += 1
+    return depth
+
+
+def depth_outliers(X, max_depth: int = 1) -> np.ndarray:
+    """Binary outlier mask: points with peeling depth <= ``max_depth``."""
+    if max_depth < 1:
+        raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
+    return peeling_depth(X) <= max_depth

@@ -1,0 +1,160 @@
+"""DB(pct, dmin)-outliers — Knorr & Ng's distance-based definition.
+
+Definition 2 of the paper: object p is a DB(pct, dmin)-outlier when at
+least pct% of the objects of D lie farther than dmin from p, i.e.
+``|{q in D | d(p, q) <= dmin}| <= (100 - pct)% * |D|``.
+
+This is the *binary, global* notion whose shortcomings Section 3
+demonstrates on dataset DS1 (no (pct, dmin) setting can flag o2 without
+also flagging the sparse cluster C1). Two algorithms are provided:
+
+* :func:`db_outliers` — the index-based algorithm: one radius query per
+  object, stopping a count early once it exceeds the threshold;
+* :func:`db_outliers_nested_loop` — the block nested-loop algorithm of
+  Knorr & Ng's VLDB'98 paper, which scans pairs but abandons an object
+  as soon as its dmin-neighbor count proves it a non-outlier; useful as
+  an independent oracle and for datasets without a useful index.
+
+:func:`find_isolating_parameters` searches (pct, dmin) space for a
+setting that flags a target set exactly — the tool used to *verify* the
+Section 3 impossibility claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_data, check_fraction, check_positive
+from ..exceptions import ValidationError
+from ..index import make_index
+
+
+def _max_inside(n: int, pct: float) -> int:
+    """Largest allowed |{q : d(p,q) <= dmin}| for p to be an outlier.
+
+    The count includes p itself (d(p, p) = 0 <= dmin), matching the
+    definition's set {q in D | d(p, q) <= dmin} with q ranging over D.
+    """
+    return int(np.floor((100.0 - pct) / 100.0 * n))
+
+
+def db_outliers(
+    X,
+    pct: float,
+    dmin: float,
+    metric="euclidean",
+    index="brute",
+) -> np.ndarray:
+    """Boolean mask of DB(pct, dmin)-outliers, via radius queries."""
+    X = check_data(X, min_rows=2)
+    pct = 100.0 * check_fraction(pct / 100.0, name="pct/100", inclusive=True)
+    dmin = check_positive(dmin, name="dmin")
+    n = X.shape[0]
+    limit = _max_inside(n, pct)
+    nn_index = make_index(index, metric=metric)
+    if not nn_index.is_fitted:
+        nn_index.fit(X)
+    out = np.zeros(n, dtype=bool)
+    for i in range(n):
+        hood = nn_index.query_radius(X[i], dmin)  # includes i itself
+        out[i] = len(hood) <= limit
+    return out
+
+
+def db_outliers_nested_loop(
+    X,
+    pct: float,
+    dmin: float,
+    metric="euclidean",
+    block_size: int = 256,
+) -> np.ndarray:
+    """Boolean mask of DB(pct, dmin)-outliers via block nested loop.
+
+    Processes candidate blocks against the whole dataset, retiring a
+    candidate as soon as its within-dmin count exceeds the allowed
+    maximum — the early-termination structure of Knorr & Ng's algorithm
+    (without the paging, which has no analogue in memory).
+    """
+    X = check_data(X, min_rows=2)
+    dmin = check_positive(dmin, name="dmin")
+    n = X.shape[0]
+    limit = _max_inside(n, pct)
+    from ..index import get_metric
+
+    metric_obj = get_metric(metric)
+    is_outlier = np.ones(n, dtype=bool)
+    for start in range(0, n, block_size):
+        block = slice(start, min(start + block_size, n))
+        counts = np.zeros(block.stop - block.start, dtype=int)
+        alive = np.ones(block.stop - block.start, dtype=bool)
+        for other_start in range(0, n, block_size):
+            other = slice(other_start, min(other_start + block_size, n))
+            dists = metric_obj.pairwise(X[block], X[other])
+            counts += (dists <= dmin).sum(axis=1)
+            newly_dead = counts > limit
+            alive &= ~newly_dead
+            if not alive.any():
+                break
+        is_outlier[block] = counts <= limit
+    return is_outlier
+
+
+@dataclass
+class IsolationSearchResult:
+    """Outcome of searching (pct, dmin) space for an exact flagging."""
+
+    found: bool
+    pct: Optional[float] = None
+    dmin: Optional[float] = None
+    best_false_positives: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return self.found
+
+
+def find_isolating_parameters(
+    X,
+    target_ids: Sequence[int],
+    pct_grid: Optional[Iterable[float]] = None,
+    dmin_grid: Optional[Iterable[float]] = None,
+    metric="euclidean",
+) -> IsolationSearchResult:
+    """Search for (pct, dmin) flagging exactly ``target_ids`` as outliers.
+
+    Used to verify Section 3's claim: for DS1 there is *no* parameter
+    setting under which o2 is an outlier but the objects of C1 are not.
+    The default grids cover pct from 90 to ~100 and dmin from the 1st to
+    the 99th percentile of pairwise distances.
+    """
+    X = check_data(X, min_rows=2)
+    n = X.shape[0]
+    target = np.zeros(n, dtype=bool)
+    target[list(target_ids)] = True
+    if pct_grid is None:
+        pct_grid = [90.0, 95.0, 99.0, 99.5, 99.8, 100.0 * (n - 1) / n]
+    if dmin_grid is None:
+        from ..index import get_metric
+
+        metric_obj = get_metric(metric)
+        sample = X if n <= 400 else X[np.linspace(0, n - 1, 400).astype(int)]
+        dists = metric_obj.pairwise(sample, sample)
+        positive = dists[dists > 0]
+        dmin_grid = np.percentile(positive, np.linspace(1, 99, 25))
+    best_fp: Optional[int] = None
+    for pct in pct_grid:
+        for dmin in dmin_grid:
+            mask = db_outliers(X, pct=float(pct), dmin=float(dmin), metric=metric)
+            if not mask[target].all():
+                continue  # misses a target: not an isolation
+            false_positives = int(np.count_nonzero(mask & ~target))
+            if false_positives == 0:
+                return IsolationSearchResult(
+                    found=True, pct=float(pct), dmin=float(dmin),
+                    best_false_positives=0,
+                )
+            if best_fp is None or false_positives < best_fp:
+                best_fp = false_positives
+    return IsolationSearchResult(found=False, best_false_positives=best_fp)

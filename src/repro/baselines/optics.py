@@ -1,0 +1,167 @@
+"""OPTICS — Ordering Points To Identify the Clustering Structure.
+
+Ankerst, Breunig, Kriegel & Sander (SIGMOD'99), the paper's reference
+[2] and its Section 8 "handshake" partner: OPTICS shares the
+core-distance / reachability-distance machinery with LOF, and the paper
+suggests sharing k-NN computation between the two. We implement the
+full ordering algorithm so that
+
+* the handshake can be demonstrated (OPTICS's core distances are
+  exactly the MinPts-distances LOF materializes), and
+* cluster extraction from the reachability plot provides another
+  clustering-based outlier baseline.
+
+Notation mapping: OPTICS and DBSCAN count the point *itself* inside its
+eps-neighborhood, while LOF's Definition 3 ranges over ``D \\ {p}``. So
+with eps unbounded, ``core_distance_MinPts(p)`` equals the LOF paper's
+``(MinPts-1)-distance(p)`` — the same materialized quantity, shifted by
+one. OPTICS's reachability of p from o is
+``max(core_distance(o), d(o, p))``, the same functional form as
+Definition 5.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts
+from ..exceptions import ValidationError
+from ..index import make_index
+
+
+@dataclass
+class OpticsResult:
+    """The cluster-ordering produced by OPTICS.
+
+    ``ordering[i]`` is the i-th visited object; ``reachability`` and
+    ``core_distance`` are indexed by *object id* (not by position in the
+    ordering). The first object of each connected component has
+    reachability inf.
+    """
+
+    ordering: np.ndarray
+    reachability: np.ndarray
+    core_distance: np.ndarray
+
+    def reachability_plot(self) -> np.ndarray:
+        """Reachability values in visit order — the classic OPTICS plot."""
+        return self.reachability[self.ordering]
+
+    def extract_dbscan(self, eps: float) -> np.ndarray:
+        """Flat DBSCAN-equivalent labels at threshold ``eps``; -1 = noise."""
+        labels = np.full(len(self.ordering), -1, dtype=int)
+        cluster = -1
+        for pos, obj in enumerate(self.ordering):
+            if self.reachability[obj] > eps:
+                if self.core_distance[obj] <= eps:
+                    cluster += 1
+                    labels[obj] = cluster
+            else:
+                labels[obj] = cluster
+        return labels
+
+
+def optics(
+    X,
+    min_pts: int,
+    eps: Optional[float] = None,
+    metric="euclidean",
+    index="brute",
+) -> OpticsResult:
+    """Compute the OPTICS cluster ordering of ``X``.
+
+    ``eps`` bounds the neighborhood radius (None = unbounded, which
+    makes every object a core object and the ordering complete).
+    """
+    X = check_data(X, min_rows=2)
+    min_pts = check_min_pts(min_pts, X.shape[0])
+    if eps is not None and eps <= 0:
+        raise ValidationError(f"eps must be > 0 or None, got {eps}")
+    n = X.shape[0]
+    nn_index = make_index(index, metric=metric)
+    if not nn_index.is_fitted:
+        nn_index.fit(X)
+
+    core = np.full(n, np.inf)
+    reach = np.full(n, np.inf)
+    processed = np.zeros(n, dtype=bool)
+    ordering = []
+
+    def neighbors_and_core(i: int):
+        # Self-inclusive counting (the DBSCAN/OPTICS convention): the
+        # point itself is the first of its min_pts neighbors, so only
+        # min_pts - 1 *other* points are required. With eps unbounded
+        # the neighborhood is the entire dataset, so every unprocessed
+        # point is a seed candidate (this is what makes the ordering a
+        # single walk per connected component).
+        others_needed = min_pts - 1
+        if eps is None:
+            hood = nn_index.query(X[i], n - 1, exclude=i)
+            core[i] = (
+                0.0 if others_needed == 0 else float(hood.distances[others_needed - 1])
+            )
+            return hood
+        hood = nn_index.query_radius(X[i], eps, exclude=i)
+        if len(hood) >= others_needed:
+            core[i] = (
+                0.0 if others_needed == 0 else float(hood.distances[others_needed - 1])
+            )
+        return hood
+
+    for start in range(n):
+        if processed[start]:
+            continue
+        hood = neighbors_and_core(start)
+        processed[start] = True
+        ordering.append(start)
+        if not np.isfinite(core[start]):
+            continue
+        seeds = []  # heap of (reachability, id)
+        counter = 0
+
+        def update(hood, center):
+            nonlocal counter
+            for pid, dist in zip(hood.ids, hood.distances):
+                pid = int(pid)
+                if processed[pid]:
+                    continue
+                new_reach = max(core[center], float(dist))
+                if new_reach < reach[pid]:
+                    reach[pid] = new_reach
+                    counter += 1
+                    heapq.heappush(seeds, (new_reach, pid, counter))
+
+        update(hood, start)
+        while seeds:
+            _, current, _ = heapq.heappop(seeds)
+            if processed[current]:
+                continue
+            hood = neighbors_and_core(current)
+            processed[current] = True
+            ordering.append(current)
+            if np.isfinite(core[current]):
+                update(hood, current)
+
+    return OpticsResult(
+        ordering=np.array(ordering, dtype=int),
+        reachability=reach,
+        core_distance=core,
+    )
+
+
+def optics_outliers(result: OpticsResult, quantile: float = 0.95) -> np.ndarray:
+    """Binary outlier mask: objects whose reachability in the ordering
+    exceeds the given quantile of finite reachability values — a simple
+    plot-based extraction, binary like all clustering-derived notions."""
+    if not 0.0 < quantile < 1.0:
+        raise ValidationError("quantile must be in (0, 1)")
+    finite = result.reachability[np.isfinite(result.reachability)]
+    if len(finite) == 0:
+        return np.zeros(len(result.ordering), dtype=bool)
+    cut = np.quantile(finite, quantile)
+    mask = result.reachability > cut
+    return mask

@@ -1,0 +1,59 @@
+"""Distribution-based outlier baselines (Section 2's first category).
+
+The oldest family: fit a standard distribution and call the improbable
+points outliers. The paper's critique — most discordancy tests are
+univariate, the true distribution is unknown, and the verdict is binary
+and global — is exactly what these two classics exhibit:
+
+* :func:`zscore_outliers` — univariate z-score per dimension (a point
+  is flagged when any dimension deviates more than t standard
+  deviations from the mean);
+* :func:`mahalanobis_scores` / :func:`mahalanobis_outliers` — the
+  multivariate-normal generalization using the empirical covariance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_data, check_positive
+from ..exceptions import ValidationError
+
+
+def zscore_scores(X) -> np.ndarray:
+    """Max-over-dimensions absolute z-score per object."""
+    X = check_data(X, min_rows=2)
+    std = X.std(axis=0)
+    std = np.where(std > 0, std, 1.0)  # constant dimension: no evidence
+    z = np.abs((X - X.mean(axis=0)) / std)
+    return z.max(axis=1)
+
+
+def zscore_outliers(X, threshold: float = 3.0) -> np.ndarray:
+    """Binary mask: any-dimension |z| > threshold (the classic 3-sigma rule)."""
+    threshold = check_positive(threshold, name="threshold")
+    return zscore_scores(X) > threshold
+
+
+def mahalanobis_scores(X, regularization: float = 1e-9) -> np.ndarray:
+    """Mahalanobis distance of each object from the empirical mean.
+
+    ``regularization`` is added to the covariance diagonal so nearly
+    degenerate data stays invertible.
+    """
+    X = check_data(X, min_rows=2)
+    if X.shape[0] <= X.shape[1]:
+        raise ValidationError(
+            "need more samples than dimensions to estimate a covariance"
+        )
+    centered = X - X.mean(axis=0)
+    cov = (centered.T @ centered) / (X.shape[0] - 1)
+    cov[np.diag_indices_from(cov)] += regularization
+    inv = np.linalg.inv(cov)
+    return np.sqrt(np.einsum("ij,jk,ik->i", centered, inv, centered))
+
+
+def mahalanobis_outliers(X, threshold: float = 3.0) -> np.ndarray:
+    """Binary mask: Mahalanobis distance > threshold."""
+    threshold = check_positive(threshold, name="threshold")
+    return mahalanobis_scores(X) > threshold

@@ -1,0 +1,243 @@
+"""Command-line interface: ``repro-lof`` / ``python -m repro``.
+
+Subcommands
+-----------
+score
+    Compute LOF scores for a CSV dataset and write a score file:
+    ``repro-lof score data.csv --min-pts 10 50 --out scores.csv``
+rank
+    Print the top outliers of a dataset:
+    ``repro-lof rank data.csv --min-pts 10 50 --top 10``
+topn
+    Exact top-n outliers with Theorem-1 bound pruning:
+    ``repro-lof topn data.csv --n 10 --min-pts 30``
+materialize
+    Step 1 of the two-step algorithm: build and persist the
+    materialization database M:
+    ``repro-lof materialize data.csv --min-pts-ub 50 --out data.mat``
+sweep
+    Step 2 from a persisted M: LOF statistics per MinPts value:
+    ``repro-lof sweep data.mat --min-pts 10 50``
+demo
+    Run the Figure 9 synthetic demo end to end and print its ranking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .core.estimator import LocalOutlierFactor
+from .core.materialization import MaterializationDB
+from .core.ranking import rank_outliers
+from .core.topn import top_n_lof
+from .datasets.paper import make_fig9_dataset
+from .exceptions import ReproError
+from .io import (
+    load_dataset,
+    load_materialization,
+    save_materialization,
+    save_scores,
+)
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--min-pts", nargs="+", type=int, default=[10, 50], metavar="K",
+        help="a single MinPts value, or a LB UB pair (default: 10 50)",
+    )
+    parser.add_argument(
+        "--aggregate", choices=("max", "min", "mean", "median"), default="max",
+        help="aggregation over the MinPts range (default: max, per Section 6.2)",
+    )
+    parser.add_argument(
+        "--index", default="brute",
+        help="k-NN substrate: brute, grid, kdtree, balltree, rstar, xtree, vafile",
+    )
+    parser.add_argument(
+        "--metric", default="euclidean",
+        help="distance metric: euclidean, manhattan, chebyshev",
+    )
+
+
+def _min_pts_arg(values: List[int]):
+    if len(values) == 1:
+        return values[0]
+    if len(values) == 2:
+        return (values[0], values[1])
+    raise SystemExit("--min-pts takes one value or a LB UB pair")
+
+
+def _fit(args, X) -> LocalOutlierFactor:
+    est = LocalOutlierFactor(
+        min_pts=_min_pts_arg(args.min_pts),
+        aggregate=args.aggregate,
+        metric=args.metric,
+        index=args.index,
+    )
+    return est.fit(X)
+
+
+def _cmd_score(args) -> int:
+    X, labels = load_dataset(args.dataset)
+    est = _fit(args, X)
+    save_scores(args.out, est.scores_, labels=labels)
+    print(f"wrote {len(est.scores_)} LOF scores to {args.out}")
+    return 0
+
+
+def _cmd_rank(args) -> int:
+    X, labels = load_dataset(args.dataset)
+    est = _fit(args, X)
+    ranking = est.rank(top_n=args.top, threshold=args.threshold, labels=labels)
+    print(ranking.to_table())
+    return 0
+
+
+def _cmd_topn(args) -> int:
+    X, labels = load_dataset(args.dataset)
+    result = top_n_lof(
+        X,
+        n_outliers=args.n,
+        min_pts=args.min_pts[0] if len(args.min_pts) == 1 else max(args.min_pts),
+        metric=args.metric,
+        index=args.index,
+    )
+    rows = [
+        f"{rank + 1:>3}  {score:6.2f}  "
+        + (labels[i] if labels is not None else f"object {i}")
+        for rank, (i, score) in enumerate(zip(result.ids, result.scores))
+    ]
+    print("rank  LOF    object")
+    print("\n".join(rows))
+    print(
+        f"\nexact LOF evaluations: {result.exact_evaluations} of "
+        f"{result.exact_evaluations + result.pruned} "
+        f"({result.prune_fraction:.0%} pruned by Theorem-1 bounds)"
+    )
+    return 0
+
+
+def _cmd_materialize(args) -> int:
+    X, _ = load_dataset(args.dataset)
+    mat = MaterializationDB.materialize(
+        X,
+        args.min_pts_ub,
+        index=args.index,
+        metric=args.metric,
+        duplicate_mode=args.duplicate_mode,
+    )
+    save_materialization(args.out, mat)
+    print(
+        f"materialized {mat.n_points} objects x MinPtsUB={mat.min_pts_ub} "
+        f"({mat.size_in_records()} records) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    mat = load_materialization(args.materialization)
+    lb, ub = (args.min_pts[0], args.min_pts[-1])
+    print("MinPts    min    mean     max")
+    for k in range(lb, ub + 1):
+        lof = mat.lof(k)
+        print(f"{k:6d}  {lof.min():5.2f}  {lof.mean():5.2f}  {lof.max():6.2f}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    dataset = make_fig9_dataset(seed=args.seed)
+    est = LocalOutlierFactor(min_pts=40).fit(dataset.X)
+    names = [dataset.label_names[label] for label in dataset.labels]
+    ranking = rank_outliers(est.scores_, top_n=10, labels=names)
+    print("Figure 9 demo: top-10 LOF (MinPts=40) on the 4-cluster dataset")
+    print(ranking.to_table())
+    planted = set(dataset.members("outlier"))
+    hits = sum(1 for e in ranking if e.index in planted)
+    print(f"\n{hits} of the top {len(ranking)} are the 7 planted outliers")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lof",
+        description=(
+            "LOF: Identifying Density-Based Local Outliers "
+            "(Breunig, Kriegel, Ng, Sander; SIGMOD 2000) — reproduction CLI"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_score = sub.add_parser("score", help="compute LOF scores for a CSV dataset")
+    p_score.add_argument("dataset", help="CSV written by repro.io.save_dataset")
+    p_score.add_argument("--out", required=True, help="output score CSV")
+    _add_common_options(p_score)
+    p_score.set_defaults(func=_cmd_score)
+
+    p_rank = sub.add_parser("rank", help="print the top outliers of a dataset")
+    p_rank.add_argument("dataset", help="CSV written by repro.io.save_dataset")
+    p_rank.add_argument("--top", type=int, default=10, help="rows to print")
+    p_rank.add_argument(
+        "--threshold", type=float, default=None,
+        help="only print objects with LOF above this",
+    )
+    _add_common_options(p_rank)
+    p_rank.set_defaults(func=_cmd_rank)
+
+    p_topn = sub.add_parser(
+        "topn", help="exact top-n outliers with Theorem-1 bound pruning"
+    )
+    p_topn.add_argument("dataset", help="CSV written by repro.io.save_dataset")
+    p_topn.add_argument("--n", type=int, default=10, help="outliers to mine")
+    _add_common_options(p_topn)
+    p_topn.set_defaults(func=_cmd_topn)
+
+    p_mat = sub.add_parser(
+        "materialize", help="build and persist the materialization database M"
+    )
+    p_mat.add_argument("dataset", help="CSV written by repro.io.save_dataset")
+    p_mat.add_argument("--out", required=True, help="output .mat file")
+    p_mat.add_argument("--min-pts-ub", type=int, default=50)
+    p_mat.add_argument("--index", default="brute")
+    p_mat.add_argument("--metric", default="euclidean")
+    p_mat.add_argument(
+        "--duplicate-mode", choices=("inf", "distinct", "error"), default="inf"
+    )
+    p_mat.set_defaults(func=_cmd_materialize)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="LOF statistics per MinPts from a persisted M"
+    )
+    p_sweep.add_argument("materialization", help=".mat file from 'materialize'")
+    p_sweep.add_argument(
+        "--min-pts", nargs="+", type=int, default=[10, 50], metavar="K"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_demo = sub.add_parser("demo", help="run the Figure 9 synthetic demo")
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

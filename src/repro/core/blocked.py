@@ -1,0 +1,87 @@
+"""Block-wise vectorized materialization — the large-n fast path.
+
+The per-object query loop of :meth:`MaterializationDB.materialize`
+pays one Python-level call per object; for plain sequential-scan
+workloads the same result is obtained orders of magnitude faster by
+computing pairwise distances in memory-bounded blocks and selecting the
+MinPtsUB-nearest rows with vectorized partial sorts.
+
+``fast_materialize`` produces a :class:`MaterializationDB` equivalent
+to the standard path: identical neighbor sets on non-degenerate data
+(Definition 4 tie inclusion and the deterministic (distance, id) order
+included) with distances equal to within a few ulps — the blocked
+kernel uses the expanded form ||x||^2 + ||y||^2 - 2<x, y>, which is what
+makes it a BLAS matmul. Peak memory is ``block_size * n`` floats
+instead of ``n^2``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts
+from ..exceptions import ValidationError
+from ..index import get_metric
+from .materialization import MaterializationDB
+
+
+def fast_materialize(
+    X,
+    min_pts_ub: int,
+    metric="euclidean",
+    block_size: int = 512,
+) -> MaterializationDB:
+    """Build M with block-wise vectorized distance computation.
+
+    Parameters
+    ----------
+    X : (n, d) dataset.
+    min_pts_ub : the materialization bound MinPtsUB.
+    metric : any metric with a ``pairwise`` kernel.
+    block_size : rows of the distance matrix held at once; the memory
+        high-water mark is ``block_size * n * 8`` bytes.
+    """
+    X = check_data(X, min_rows=2)
+    n = X.shape[0]
+    ub = check_min_pts(min_pts_ub, n, name="min_pts_ub")
+    if block_size < 1:
+        raise ValidationError(f"block_size must be >= 1, got {block_size}")
+    metric_obj = get_metric(metric)
+
+    rows_ids: List[np.ndarray] = []
+    rows_dists: List[np.ndarray] = []
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        D = metric_obj.pairwise(X[start:stop], X)
+        # Exclude self: the diagonal of this block.
+        for local in range(stop - start):
+            D[local, start + local] = np.inf
+        kth = np.partition(D, ub - 1, axis=1)[:, ub - 1]
+        for local in range(stop - start):
+            ids = np.flatnonzero(D[local] <= kth[local])
+            dists = D[local, ids]
+            order = np.lexsort((ids, dists))
+            rows_ids.append(ids[order].astype(np.int64))
+            rows_dists.append(dists[order])
+
+    width = max(len(r) for r in rows_ids)
+    padded_ids = np.full((n, width), -1, dtype=np.int64)
+    padded_dists = np.full((n, width), np.inf, dtype=np.float64)
+    for i, (ids, dists) in enumerate(zip(rows_ids, rows_dists)):
+        padded_ids[i, : len(ids)] = ids
+        padded_dists[i, : len(dists)] = dists
+    return MaterializationDB(padded_ids, padded_dists, min_pts_ub=ub)
+
+
+def fast_lof_scores(
+    X,
+    min_pts: int,
+    metric="euclidean",
+    block_size: int = 512,
+) -> np.ndarray:
+    """LOF via the blocked fast path — identical values, less Python."""
+    return fast_materialize(
+        X, min_pts, metric=metric, block_size=block_size
+    ).lof(min_pts)

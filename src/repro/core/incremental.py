@@ -1,0 +1,269 @@
+"""Incremental LOF maintenance under insertions and deletions.
+
+The paper closes (Section 8) by calling for cheaper LOF computation.
+The now-standard answer (Pokrajac et al., "Incremental local outlier
+detection for data streams") exploits LOF's locality: inserting or
+removing one object only changes
+
+* the k-distance of objects that gain/lose the object among their
+  MinPts nearest neighbors (its *reverse* neighbors),
+* the lrd of those objects and of objects having one of them in their
+  neighborhood,
+* the LOF of objects whose own lrd changed or that have such an object
+  in their neighborhood.
+
+:class:`IncrementalLOF` maintains exactly those dependency layers and
+recomputes only the affected objects, tracking how many were touched so
+tests and benchmarks can verify the update stays local. Scores always
+match a from-scratch recomputation (the test suite asserts this to
+1e-9).
+
+Ties are honored the same way as the batch path (Definition 4), and the
+duplicate convention is the batch ``'inf'`` mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts
+from ..exceptions import NotFittedError, ValidationError
+from ..index import get_metric
+
+
+@dataclass
+class UpdateReport:
+    """What one insert/delete actually recomputed."""
+
+    changed_neighborhoods: int
+    changed_lrd: int
+    changed_lof: int
+
+
+class IncrementalLOF:
+    """Maintain LOF_MinPts for a dynamic dataset.
+
+    Parameters
+    ----------
+    min_pts : the MinPts parameter (fixed for the stream's lifetime).
+    metric : distance metric name or instance.
+
+    Point handles returned by :meth:`insert` are stable integer keys;
+    :attr:`scores` maps handle -> current LOF.
+    """
+
+    def __init__(self, min_pts: int, metric="euclidean"):
+        if min_pts < 1:
+            raise ValidationError(f"min_pts must be >= 1, got {min_pts}")
+        self.min_pts = int(min_pts)
+        self.metric = get_metric(metric)
+        self._points: Dict[int, np.ndarray] = {}
+        self._next_handle = 0
+        self._neighbors: Dict[int, np.ndarray] = {}       # handle -> neighbor handles
+        self._neighbor_dists: Dict[int, np.ndarray] = {}
+        self._kdist: Dict[int, float] = {}
+        self._lrd: Dict[int, float] = {}
+        self._lof: Dict[int, float] = {}
+        self._reverse: Dict[int, Set[int]] = {}           # handle -> who lists it
+
+    # -- bulk ---------------------------------------------------------------
+
+    @classmethod
+    def from_dataset(cls, X, min_pts: int, metric="euclidean") -> "IncrementalLOF":
+        """Build the maintained state for an initial dataset."""
+        X = check_data(X, min_rows=2)
+        check_min_pts(min_pts, X.shape[0])
+        inc = cls(min_pts, metric=metric)
+        for row in X:
+            inc._points[inc._next_handle] = row.copy()
+            inc._next_handle += 1
+        inc._rebuild_all()
+        return inc
+
+    def _rebuild_all(self) -> None:
+        handles = list(self._points)
+        if len(handles) <= self.min_pts:
+            # Not enough points for any neighborhood yet; scores undefined.
+            self._neighbors.clear()
+            self._kdist.clear()
+            self._lrd.clear()
+            self._lof.clear()
+            self._reverse = {h: set() for h in handles}
+            return
+        self._reverse = {h: set() for h in handles}
+        for h in handles:
+            self._refresh_neighborhood(h)
+        for h in handles:
+            self._refresh_lrd(h)
+        for h in handles:
+            self._refresh_lof(h)
+
+    # -- public state ---------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        return len(self._points)
+
+    @property
+    def handles(self) -> List[int]:
+        return sorted(self._points)
+
+    @property
+    def scores(self) -> Dict[int, float]:
+        """Current LOF per handle (empty until > min_pts points exist)."""
+        return dict(self._lof)
+
+    def score_of(self, handle: int) -> float:
+        self._require_ready()
+        if handle not in self._lof:
+            raise KeyError(f"unknown handle {handle}")
+        return self._lof[handle]
+
+    def _require_ready(self) -> None:
+        if len(self._points) <= self.min_pts:
+            raise NotFittedError(
+                f"need more than min_pts={self.min_pts} points before LOF "
+                f"is defined; have {len(self._points)}"
+            )
+
+    # -- primitive recomputations ----------------------------------------------
+
+    def _all_matrix(self):
+        handles = sorted(self._points)
+        return handles, np.vstack([self._points[h] for h in handles])
+
+    def _refresh_neighborhood(self, h: int) -> None:
+        handles, X = self._all_matrix()
+        pos = handles.index(h)
+        dists = self.metric.pairwise_to_point(X, self._points[h])
+        dists[pos] = np.inf
+        k = self.min_pts
+        kth = np.partition(dists, k - 1)[k - 1]
+        members = np.flatnonzero(dists <= kth)
+        order = np.lexsort((members, dists[members]))
+        members = members[order]
+        old = self._neighbors.get(h)
+        if old is not None:
+            for o in old:
+                self._reverse.get(int(o), set()).discard(h)
+        self._neighbors[h] = np.array([handles[m] for m in members], dtype=int)
+        self._neighbor_dists[h] = dists[members]
+        self._kdist[h] = float(kth)
+        for o in self._neighbors[h]:
+            self._reverse.setdefault(int(o), set()).add(h)
+
+    def _refresh_lrd(self, h: int) -> None:
+        reach = np.maximum(
+            np.array([self._kdist[int(o)] for o in self._neighbors[h]]),
+            self._neighbor_dists[h],
+        )
+        total = float(reach.sum())
+        self._lrd[h] = np.inf if total == 0.0 else len(reach) / total
+
+    def _refresh_lof(self, h: int) -> None:
+        lrd_p = self._lrd[h]
+        ratios = []
+        for o in self._neighbors[h]:
+            lrd_o = self._lrd[int(o)]
+            if np.isinf(lrd_o) and np.isinf(lrd_p):
+                ratios.append(1.0)
+            elif np.isinf(lrd_p):
+                ratios.append(0.0)
+            else:
+                ratios.append(lrd_o / lrd_p)
+        self._lof[h] = float(np.mean(ratios))
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, point) -> int:
+        """Insert one point; returns its handle.
+
+        Only the affected dependency layers are recomputed; the returned
+        handle's score is available via :attr:`scores` once the dataset
+        exceeds ``min_pts`` points.
+        """
+        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        if self._points and point.shape[0] != next(iter(self._points.values())).shape[0]:
+            raise ValidationError("point dimensionality mismatch")
+        if not np.all(np.isfinite(point)):
+            raise ValidationError("point contains NaN or infinite values")
+        h = self._next_handle
+        self._next_handle += 1
+        self._points[h] = point
+        self._reverse.setdefault(h, set())
+        if len(self._points) == self.min_pts + 1:
+            # First moment LOF becomes defined: full build, all points new.
+            self._rebuild_all()
+            self.last_report = UpdateReport(
+                changed_neighborhoods=len(self._points),
+                changed_lrd=len(self._points),
+                changed_lof=len(self._points),
+            )
+            return h
+        if len(self._points) <= self.min_pts:
+            self.last_report = UpdateReport(0, 0, 0)
+            return h
+        # Objects whose MinPts-neighborhood may change: those for which
+        # the new point is at distance <= their current k-distance.
+        # Distances are computed with the same vectorized kernel used by
+        # _refresh_neighborhood so boundary ties compare bit-for-bit.
+        handles, X = self._all_matrix()
+        dists = self.metric.pairwise_to_point(X, point)
+        affected = {h}
+        for pos, other in enumerate(handles):
+            if other == h:
+                continue
+            if dists[pos] <= self._kdist[other]:
+                affected.add(other)
+        self._propagate(affected)
+        return h
+
+    def delete(self, handle: int) -> None:
+        """Remove one point by handle, updating only affected objects."""
+        if handle not in self._points:
+            raise KeyError(f"unknown handle {handle}")
+        # Objects that listed the deleted point must re-query.
+        affected = set(self._reverse.get(handle, set()))
+        for o in self._neighbors.get(handle, ()):
+            self._reverse.get(int(o), set()).discard(handle)
+        self._points.pop(handle)
+        self._neighbors.pop(handle, None)
+        self._neighbor_dists.pop(handle, None)
+        self._kdist.pop(handle, None)
+        self._lrd.pop(handle, None)
+        self._lof.pop(handle, None)
+        self._reverse.pop(handle, None)
+        if len(self._points) <= self.min_pts:
+            self._rebuild_all()
+            self.last_report = UpdateReport(0, 0, 0)
+            return
+        affected &= set(self._points)
+        self._propagate(affected)
+
+    def _propagate(self, changed_hoods: Set[int]) -> None:
+        """Recompute the three dependency layers outward from the objects
+        whose neighborhoods changed."""
+        for h in changed_hoods:
+            self._refresh_neighborhood(h)
+        # lrd(p) depends on p's neighborhood and on kdist of its members.
+        lrd_dirty = set(changed_hoods)
+        for h in changed_hoods:
+            lrd_dirty |= self._reverse.get(h, set())
+        lrd_dirty &= set(self._points)
+        for h in lrd_dirty:
+            self._refresh_lrd(h)
+        # LOF(p) depends on lrd(p) and on lrd of p's neighbors.
+        lof_dirty = set(lrd_dirty)
+        for h in lrd_dirty:
+            lof_dirty |= self._reverse.get(h, set())
+        lof_dirty &= set(self._points)
+        for h in lof_dirty:
+            self._refresh_lof(h)
+        self.last_report = UpdateReport(
+            changed_neighborhoods=len(changed_hoods),
+            changed_lrd=len(lrd_dirty),
+            changed_lof=len(lof_dirty),
+        )

@@ -1,0 +1,39 @@
+"""Definition 6: the local reachability density.
+
+The lrd of p is the inverse of the average reachability distance from p
+to its MinPts-nearest neighbors:
+
+    lrd_MinPts(p) = 1 / ( sum_{o in N(p)} reach-dist_MinPts(p, o) / |N(p)| )
+
+It can be infinite when at least MinPts duplicates of p exist (every
+reachability distance 0); see
+:mod:`repro.core.materialization` for the three supported duplicate
+policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .materialization import MaterializationDB
+
+
+def local_reachability_density(
+    X,
+    min_pts: int,
+    metric="euclidean",
+    index="brute",
+    duplicate_mode: str = "inf",
+) -> np.ndarray:
+    """lrd_MinPts of every object in ``X`` as an (n,) vector.
+
+    A thin convenience over the two-step algorithm: materializes the
+    MinPts-neighborhoods and runs the first scan of step 2. When you
+    need lrd for several MinPts values (or LOF too), build one
+    :class:`~repro.core.materialization.MaterializationDB` yourself and
+    reuse it.
+    """
+    mat = MaterializationDB.materialize(
+        X, min_pts, index=index, metric=metric, duplicate_mode=duplicate_mode
+    )
+    return mat.lrd(min_pts)

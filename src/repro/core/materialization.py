@@ -1,0 +1,362 @@
+"""The materialization database M and the two-step LOF algorithm.
+
+Section 7.4 of the paper describes the production algorithm:
+
+    *Step 1* — for every object p, materialize its MinPtsUB-nearest
+    neighborhood (neighbor ids and distances) into a database M of size
+    n · MinPtsUB. This is the only step that touches the raw vectors, and
+    its cost is n times the cost of one k-NN query against the chosen
+    access method.
+
+    *Step 2* — for every MinPts value in [MinPtsLB, MinPtsUB], scan M
+    twice: the first scan computes every object's local reachability
+    density (Definition 6), the second computes the LOF values
+    (Definition 7). The original database D is not needed. Each scan is
+    O(n).
+
+:class:`MaterializationDB` is that database M. It stores, per object, the
+tie-inclusive MinPtsUB-distance neighborhood sorted by distance, and
+answers ``k_distances(k)``, ``lrd(k)`` and ``lof(k)`` for any
+``k <= MinPtsUB`` using only the stored rows — exactly the paper's
+separation of concerns.
+
+Tie semantics follow Definition 4: the k-distance neighborhood contains
+*every* object at distance not greater than the k-distance, so rows can
+be longer than MinPtsUB and per-k neighborhoods longer than k.
+
+Duplicate handling (the remark after Definition 6) is a per-database
+mode:
+
+``"inf"``
+    the paper's plain definition; MinPts-fold duplicates produce
+    lrd = inf, and LOF ratios use the convention inf/inf := 1 so scores
+    remain well-defined;
+``"distinct"``
+    the paper's proposed fix: neighborhoods are based on the
+    k-*distinct*-distance, the smallest radius containing k neighbors
+    with mutually different spatial coordinates, which keeps every lrd
+    finite;
+``"error"``
+    raise :class:`DuplicatePointsError` when an infinite lrd would arise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts
+from ..exceptions import DuplicatePointsError, ValidationError
+from ..index import NNIndex, make_index
+
+_DUPLICATE_MODES = ("inf", "distinct", "error")
+
+
+class MaterializationDB:
+    """The neighborhood materialization database M of Section 7.4.
+
+    Build it once with :meth:`materialize` (or the module-level
+    :func:`materialize` convenience) for the largest MinPts value you
+    intend to use, then query LOF statistics for any smaller MinPts
+    without touching the original vectors again.
+
+    Attributes
+    ----------
+    n_points, min_pts_ub, duplicate_mode : as constructed.
+    padded_ids, padded_dists : (n, L) arrays padded with -1 / +inf; row i
+        holds the tie-inclusive ``min_pts_ub``-distance neighborhood of
+        object i sorted by (distance, id).
+    """
+
+    def __init__(
+        self,
+        padded_ids: np.ndarray,
+        padded_dists: np.ndarray,
+        min_pts_ub: int,
+        duplicate_mode: str = "inf",
+        coord_keys: Optional[np.ndarray] = None,
+    ):
+        if duplicate_mode not in _DUPLICATE_MODES:
+            raise ValidationError(
+                f"duplicate_mode must be one of {_DUPLICATE_MODES}, got {duplicate_mode!r}"
+            )
+        if duplicate_mode == "distinct" and coord_keys is None:
+            raise ValidationError("duplicate_mode='distinct' requires coord_keys")
+        self.padded_ids = padded_ids
+        self.padded_dists = padded_dists
+        self.min_pts_ub = int(min_pts_ub)
+        self.duplicate_mode = duplicate_mode
+        self.coord_keys = coord_keys
+        self.n_points = padded_ids.shape[0]
+        self._row_lengths = (padded_ids >= 0).sum(axis=1)
+        self._kdist_cache: Dict[int, np.ndarray] = {}
+        self._csr_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._lrd_cache: Dict[int, np.ndarray] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def materialize(
+        cls,
+        X,
+        min_pts_ub: int,
+        index="brute",
+        metric="euclidean",
+        duplicate_mode: str = "inf",
+    ) -> "MaterializationDB":
+        """Step 1 of the two-step algorithm: build M from dataset ``X``.
+
+        ``index`` may be a registry name ('brute', 'grid', 'kdtree',
+        'balltree', 'rstar', 'xtree', 'vafile'), an :class:`NNIndex`
+        class, or a fitted/unfitted instance.
+        """
+        X = check_data(X, min_rows=2)
+        n = X.shape[0]
+        ub = check_min_pts(min_pts_ub, n, name="min_pts_ub")
+        if duplicate_mode not in _DUPLICATE_MODES:
+            raise ValidationError(
+                f"duplicate_mode must be one of {_DUPLICATE_MODES}, got {duplicate_mode!r}"
+            )
+        coord_keys = None
+        if duplicate_mode == "distinct":
+            _, coord_keys = np.unique(X, axis=0, return_inverse=True)
+            coord_keys = coord_keys.astype(np.int64)
+            if np.max(np.bincount(coord_keys)) == n:
+                raise ValidationError(
+                    "all points are identical; no distinct neighborhood exists"
+                )
+
+        nn_index = make_index(index, metric=metric)
+        if not nn_index.is_fitted:
+            nn_index.fit(X)
+        elif nn_index.n_points != n:
+            raise ValidationError(
+                "a pre-fitted index must be fitted on the same dataset"
+            )
+
+        rows_ids: List[np.ndarray] = []
+        rows_dists: List[np.ndarray] = []
+        for i in range(n):
+            if duplicate_mode == "distinct":
+                hood = cls._distinct_neighborhood(nn_index, X[i], i, ub, coord_keys)
+            else:
+                hood = nn_index.query_with_ties(X[i], ub, exclude=i)
+            rows_ids.append(hood.ids.astype(np.int64))
+            rows_dists.append(hood.distances.astype(np.float64))
+
+        width = max(len(r) for r in rows_ids)
+        padded_ids = np.full((n, width), -1, dtype=np.int64)
+        padded_dists = np.full((n, width), np.inf, dtype=np.float64)
+        for i, (ids, dists) in enumerate(zip(rows_ids, rows_dists)):
+            padded_ids[i, : len(ids)] = ids
+            padded_dists[i, : len(dists)] = dists
+        return cls(
+            padded_ids,
+            padded_dists,
+            min_pts_ub=ub,
+            duplicate_mode=duplicate_mode,
+            coord_keys=coord_keys,
+        )
+
+    @staticmethod
+    def _distinct_neighborhood(nn_index: NNIndex, q, self_id: int, k: int, coord_keys):
+        """Neighborhood based on the k-distinct-distance: grow the plain
+        k-NN result until it covers ``k`` neighbors with mutually
+        different coordinates (all of which differ from the query point's
+        own coordinates, since their distance is positive)."""
+        n = nn_index.n_points
+        probe = k
+        while True:
+            probe = min(probe, n - 1)
+            hood = nn_index.query_with_ties(q, probe, exclude=self_id)
+            positive = hood.distances > 0.0
+            distinct = np.unique(coord_keys[hood.ids[positive]])
+            if len(distinct) >= k or probe >= n - 1:
+                break
+            probe = min(n - 1, probe * 2)
+        if len(distinct) < k:
+            raise ValidationError(
+                f"fewer than k={k} distinct coordinate locations exist"
+            )
+        # k-distinct-distance: the distance at which the k-th distinct
+        # location (excluding the query's own coordinates) is reached.
+        seen: set = set()
+        kdist = None
+        for pid, dist in zip(hood.ids, hood.distances):
+            if dist <= 0.0:
+                continue
+            key = int(coord_keys[pid])
+            if key not in seen:
+                seen.add(key)
+                if len(seen) == k:
+                    kdist = dist
+                    break
+        # Closed ball of that radius (duplicates of q inside it included,
+        # matching the Definition 4 analog).
+        return nn_index.query_radius(q, kdist, exclude=self_id)
+
+    # -- Definition 3: k-distance ---------------------------------------------
+
+    def k_distances(self, min_pts: int) -> np.ndarray:
+        """The MinPts-distance of every object (Definition 3), from M."""
+        k = self._check_k(min_pts)
+        if k not in self._kdist_cache:
+            if self.duplicate_mode == "distinct":
+                self._kdist_cache[k] = self._distinct_k_distances(k)
+            else:
+                self._kdist_cache[k] = self.padded_dists[:, k - 1].copy()
+        return self._kdist_cache[k]
+
+    def _distinct_k_distances(self, k: int) -> np.ndarray:
+        out = np.empty(self.n_points)
+        for i in range(self.n_points):
+            dists = self.padded_dists[i, : self._row_lengths[i]]
+            ids = self.padded_ids[i, : self._row_lengths[i]]
+            seen: set = set()
+            kdist = None
+            for pid, dist in zip(ids, dists):
+                if dist <= 0.0:
+                    continue
+                key = int(self.coord_keys[pid])
+                if key not in seen:
+                    seen.add(key)
+                    if len(seen) == k:
+                        kdist = dist
+                        break
+            if kdist is None:
+                raise ValidationError(
+                    f"materialized rows do not cover {k} distinct locations "
+                    f"for object {i}; re-materialize with duplicate_mode='distinct'"
+                )
+            out[i] = kdist
+        return out
+
+    # -- Definition 4: neighborhoods (CSR layout for vectorized math) ----------
+
+    def neighborhoods(self, min_pts: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Tie-inclusive MinPts-distance neighborhoods of all objects.
+
+        Returns ``(flat_ids, flat_dists, offsets)`` in CSR form: the
+        neighborhood of object i is ``flat_ids[offsets[i]:offsets[i+1]]``.
+        """
+        k = self._check_k(min_pts)
+        if k not in self._csr_cache:
+            kdist = self.k_distances(k)
+            mask = self.padded_dists <= kdist[:, None]
+            counts = mask.sum(axis=1)
+            offsets = np.zeros(self.n_points + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            self._csr_cache[k] = (
+                self.padded_ids[mask],
+                self.padded_dists[mask],
+                offsets,
+            )
+        return self._csr_cache[k]
+
+    def neighborhood_of(self, i: int, min_pts: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Ids and distances of N_MinPts(i), sorted by (distance, id)."""
+        flat_ids, flat_dists, offsets = self.neighborhoods(min_pts)
+        sl = slice(offsets[i], offsets[i + 1])
+        return flat_ids[sl], flat_dists[sl]
+
+    # -- Definition 5/6: reachability distances and lrd -------------------------
+
+    def reach_dists(self, min_pts: int) -> Tuple[np.ndarray, np.ndarray]:
+        """reach-dist_MinPts(p, o) for every neighborhood pair, CSR-flat.
+
+        Returns ``(flat_reach, offsets)`` aligned with
+        :meth:`neighborhoods`.
+        """
+        k = self._check_k(min_pts)
+        flat_ids, flat_dists, offsets = self.neighborhoods(k)
+        kdist = self.k_distances(k)
+        return np.maximum(kdist[flat_ids], flat_dists), offsets
+
+    def lrd(self, min_pts: int) -> np.ndarray:
+        """Local reachability density of every object (Definition 6).
+
+        This is the first O(n) scan of step 2.
+        """
+        k = self._check_k(min_pts)
+        if k not in self._lrd_cache:
+            flat_reach, offsets = self.reach_dists(k)
+            counts = np.diff(offsets).astype(np.float64)
+            sums = np.add.reduceat(flat_reach, offsets[:-1])
+            with np.errstate(divide="ignore"):
+                lrd = counts / sums
+            if self.duplicate_mode == "error" and np.any(np.isinf(lrd)):
+                bad = int(np.flatnonzero(np.isinf(lrd))[0])
+                raise DuplicatePointsError(
+                    f"object {bad} has at least MinPts={k} duplicates; its "
+                    f"local reachability density is infinite "
+                    f"(use duplicate_mode='distinct' or 'inf')"
+                )
+            self._lrd_cache[k] = lrd
+        return self._lrd_cache[k]
+
+    def lof(self, min_pts: int) -> np.ndarray:
+        """Local outlier factor of every object (Definition 7).
+
+        This is the second O(n) scan of step 2. Ratio convention for
+        duplicate-heavy data in mode 'inf': inf/inf := 1, finite/inf := 0.
+        """
+        k = self._check_k(min_pts)
+        lrd = self.lrd(k)
+        flat_ids, _, offsets = self.neighborhoods(k)
+        counts = np.diff(offsets).astype(np.float64)
+        lrd_neighbors = lrd[flat_ids]
+        lrd_self = np.repeat(lrd, np.diff(offsets))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = lrd_neighbors / lrd_self
+        # inf/inf produces NaN; the convention for co-located points is 1.
+        both_inf = np.isinf(lrd_neighbors) & np.isinf(lrd_self)
+        ratios[both_inf] = 1.0
+        return np.add.reduceat(ratios, offsets[:-1]) / counts
+
+    def lof_range(self, min_pts_lb: int, min_pts_ub: int) -> Dict[int, np.ndarray]:
+        """LOF vectors for every MinPts in [lb, ub] (Section 6.2 sweep)."""
+        lb = self._check_k(min_pts_lb)
+        ub = self._check_k(min_pts_ub)
+        if lb > ub:
+            raise ValidationError(f"min_pts_lb={lb} exceeds min_pts_ub={ub}")
+        return {k: self.lof(k) for k in range(lb, ub + 1)}
+
+    # -- misc -------------------------------------------------------------------
+
+    def size_in_records(self) -> int:
+        """Number of (id, distance) records stored — the paper's n·MinPtsUB
+        figure, plus any tie overhang."""
+        return int(self._row_lengths.sum())
+
+    def _check_k(self, min_pts: int) -> int:
+        k = check_min_pts(min_pts, self.n_points)
+        if k > self.min_pts_ub:
+            raise ValidationError(
+                f"min_pts={k} exceeds the materialized bound "
+                f"min_pts_ub={self.min_pts_ub}; re-materialize with a larger bound"
+            )
+        return k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MaterializationDB(n={self.n_points}, min_pts_ub={self.min_pts_ub}, "
+            f"records={self.size_in_records()}, mode={self.duplicate_mode!r})"
+        )
+
+
+def materialize(
+    X,
+    min_pts_ub: int,
+    index="brute",
+    metric="euclidean",
+    duplicate_mode: str = "inf",
+) -> MaterializationDB:
+    """Convenience alias for :meth:`MaterializationDB.materialize`."""
+    return MaterializationDB.materialize(
+        X,
+        min_pts_ub,
+        index=index,
+        metric=metric,
+        duplicate_mode=duplicate_mode,
+    )

@@ -1,0 +1,76 @@
+"""Definitions 3 and 4: k-distance and the k-distance neighborhood.
+
+These functions are the directly-readable form of the paper's basic
+notions, computed exactly (including the tie semantics that can make
+``|N_k(p)| > k``). They are convenient for examples, small datasets and
+tests; bulk computation should go through
+:class:`repro.core.materialization.MaterializationDB`, which amortizes
+the neighbor search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts
+from ..index import make_index
+
+
+def k_distance(
+    X,
+    k: int,
+    point_index: Optional[int] = None,
+    metric="euclidean",
+    index="brute",
+) -> Union[float, np.ndarray]:
+    """The k-distance of one object, or of all objects (Definition 3).
+
+    The k-distance of p is the distance d(p, o) to a neighbor o such
+    that at least k objects of ``D \\ {p}`` are at distance <= d(p, o)
+    and at most k-1 are strictly closer — i.e. the k-th smallest
+    distance from p to another object.
+
+    Parameters
+    ----------
+    X : (n, d) array-like dataset.
+    k : positive integer, at most n - 1.
+    point_index : if given, return the scalar k-distance of that object;
+        otherwise return the (n,) vector for all objects.
+    """
+    X = check_data(X, min_rows=2)
+    k = check_min_pts(k, X.shape[0], name="k")
+    nn_index = make_index(index, metric=metric).fit(X)
+    if point_index is not None:
+        hood = nn_index.query(X[point_index], k, exclude=int(point_index))
+        return hood.k_distance
+    out = np.empty(X.shape[0])
+    for i in range(X.shape[0]):
+        out[i] = nn_index.query(X[i], k, exclude=i).k_distance
+    return out
+
+
+def k_distance_neighborhood(
+    X,
+    i: int,
+    k: int,
+    metric="euclidean",
+    index="brute",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The k-distance neighborhood N_k(i) of object i (Definition 4).
+
+    Returns ``(ids, distances)`` of *every* object whose distance from
+    object i is not greater than the k-distance of i — with distance
+    ties included, so the result can contain more than ``k`` objects
+    (the paper's example: 1 object at distance 1, 2 at distance 2 and 3
+    at distance 3 gives ``|N_4| = 6``).
+    """
+    X = check_data(X, min_rows=2)
+    k = check_min_pts(k, X.shape[0], name="k")
+    i = int(i)
+    if not 0 <= i < X.shape[0]:
+        raise IndexError(f"point index {i} out of range for n={X.shape[0]}")
+    nn_index = make_index(index, metric=metric).fit(X)
+    hood = nn_index.query_with_ties(X[i], k, exclude=i)
+    return hood.ids, hood.distances

@@ -1,0 +1,106 @@
+"""Ranking utilities: turn LOF scores into ordered outlier reports.
+
+The paper's experiments (Sections 7.2 and 7.3, Table 3) present outliers
+as ranked lists — object, LOF value, attributes. These helpers produce
+the same artifacts from any score vector, with deterministic tie-breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_labels
+from ..exceptions import ValidationError
+
+
+@dataclass
+class RankedOutlier:
+    """One row of an outlier ranking."""
+
+    rank: int
+    index: int
+    score: float
+    label: Optional[str] = None
+
+    def __str__(self) -> str:
+        who = self.label if self.label is not None else f"object {self.index}"
+        return f"{self.rank:>3}  {self.score:6.2f}  {who}"
+
+
+@dataclass
+class OutlierRanking:
+    """A full ranking with convenience accessors and a table renderer."""
+
+    entries: List[RankedOutlier] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, i: int) -> RankedOutlier:
+        return self.entries[i]
+
+    @property
+    def indices(self) -> np.ndarray:
+        return np.array([e.index for e in self.entries], dtype=int)
+
+    @property
+    def scores(self) -> np.ndarray:
+        return np.array([e.score for e in self.entries])
+
+    @property
+    def labels(self) -> List[Optional[str]]:
+        return [e.label for e in self.entries]
+
+    def to_table(self, title: str = "rank  LOF    object") -> str:
+        lines = [title, "-" * len(title)]
+        lines.extend(str(e) for e in self.entries)
+        return "\n".join(lines)
+
+
+def rank_outliers(
+    scores,
+    top_n: Optional[int] = None,
+    threshold: Optional[float] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> OutlierRanking:
+    """Rank objects by descending score.
+
+    Parameters
+    ----------
+    scores : (n,) score vector (e.g. max-LOF over a MinPts range).
+    top_n : keep only the n highest-scoring objects.
+    threshold : keep only objects with score strictly greater than this
+        (the paper's Table 3 uses LOF > 1.5).
+    labels : optional per-object names carried into the report.
+
+    Ties are broken by ascending object index so rankings are
+    deterministic.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if scores.ndim != 1 or len(scores) == 0:
+        raise ValidationError("scores must be a non-empty 1-d vector")
+    labels = check_labels(labels, len(scores))
+    if top_n is not None and top_n < 1:
+        raise ValidationError(f"top_n must be >= 1, got {top_n}")
+    # Descending score, ascending index on ties.
+    order = np.lexsort((np.arange(len(scores)), -scores))
+    if threshold is not None:
+        order = order[scores[order] > threshold]
+    if top_n is not None:
+        order = order[:top_n]
+    entries = [
+        RankedOutlier(
+            rank=r + 1,
+            index=int(i),
+            score=float(scores[i]),
+            label=None if labels is None else labels[i],
+        )
+        for r, i in enumerate(order)
+    ]
+    return OutlierRanking(entries=entries)

@@ -1,0 +1,66 @@
+"""Definition 5: the reachability distance.
+
+``reach-dist_k(p, o) = max(k-distance(o), d(p, o))``
+
+If p is far from o, the reachability distance is simply their true
+distance; if p lies within o's k-distance neighborhood, the true distance
+is replaced by o's k-distance. This smooths the statistical fluctuation
+of d(p, o) for all p close to o; the higher k, the stronger the
+smoothing (Figure 2 in the paper illustrates both regimes).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts
+from ..index import get_metric, make_index
+
+
+def reach_dist(
+    X,
+    k: int,
+    p_index: int,
+    o_index: int,
+    metric="euclidean",
+    index="brute",
+) -> float:
+    """reach-dist_k of object ``p_index`` w.r.t. object ``o_index``."""
+    X = check_data(X, min_rows=2)
+    k = check_min_pts(k, X.shape[0], name="k")
+    p_index, o_index = int(p_index), int(o_index)
+    for name, idx in (("p_index", p_index), ("o_index", o_index)):
+        if not 0 <= idx < X.shape[0]:
+            raise IndexError(f"{name}={idx} out of range for n={X.shape[0]}")
+    metric_obj = get_metric(metric)
+    nn_index = make_index(index, metric=metric_obj).fit(X)
+    kdist_o = nn_index.query(X[o_index], k, exclude=o_index).k_distance
+    actual = metric_obj.distance(X[p_index], X[o_index])
+    return max(kdist_o, actual)
+
+
+def reachability_matrix(
+    X,
+    k: int,
+    metric="euclidean",
+) -> np.ndarray:
+    """Full (n, n) matrix R with R[p, o] = reach-dist_k(p, o).
+
+    Quadratic in memory; intended for the small illustrative datasets of
+    figures 2, 3 and 6 and for validating the sparse computation inside
+    :class:`~repro.core.materialization.MaterializationDB`. The diagonal
+    holds ``k-distance(p)`` (d(p, p) = 0 is dominated by the k-distance),
+    which is the natural continuation of Definition 5 although the paper
+    never evaluates reach-dist(p, p).
+    """
+    X = check_data(X, min_rows=2)
+    k = check_min_pts(k, X.shape[0], name="k")
+    metric_obj = get_metric(metric)
+    distances = metric_obj.pairwise(X, X)
+    # k-distance per column object o: k-th smallest distance to others.
+    n = X.shape[0]
+    no_self = distances + np.diag(np.full(n, np.inf))
+    kdist = np.partition(no_self, k - 1, axis=1)[:, k - 1]
+    return np.maximum(distances, kdist[np.newaxis, :])

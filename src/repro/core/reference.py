@@ -1,0 +1,103 @@
+"""A deliberately naive reference implementation of the LOF chain.
+
+This module re-implements Definitions 3-7 as directly as Python allows
+— nested loops, no vectorization, no shared state — purely to serve as
+an independent oracle for differential testing of the optimized
+pipeline. If `repro.core.materialization` and this module ever
+disagree, one of them misreads the paper; the test suite keeps them in
+lockstep on every kind of input (ties, duplicates via the 'inf'
+convention, arbitrary metrics).
+
+Complexity is O(n^2 log n) time and O(n^2) distance evaluations per
+call: use it for tests and reading, never for real workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .._validation import check_data, check_min_pts
+from ..index import get_metric
+
+
+def naive_k_distance_and_neighborhood(
+    X: np.ndarray, i: int, k: int, metric_obj
+) -> Tuple[float, List[int]]:
+    """(k-distance(i), N_k(i)) straight from Definitions 3-4."""
+    dists = []
+    for j in range(len(X)):
+        if j == i:
+            continue
+        dists.append((metric_obj.distance(X[i], X[j]), j))
+    dists.sort()
+    k_distance = dists[k - 1][0]
+    neighborhood = [j for d, j in dists if d <= k_distance]
+    return k_distance, neighborhood
+
+
+def naive_lof(
+    X,
+    min_pts: int,
+    metric="euclidean",
+) -> np.ndarray:
+    """LOF_MinPts for every object, computed definition by definition."""
+    X = check_data(X, min_rows=2)
+    min_pts = check_min_pts(min_pts, X.shape[0])
+    metric_obj = get_metric(metric)
+    n = len(X)
+
+    k_distance: Dict[int, float] = {}
+    neighborhood: Dict[int, List[int]] = {}
+    for i in range(n):
+        k_distance[i], neighborhood[i] = naive_k_distance_and_neighborhood(
+            X, i, min_pts, metric_obj
+        )
+
+    def reach_dist(p: int, o: int) -> float:
+        return max(k_distance[o], metric_obj.distance(X[p], X[o]))
+
+    lrd: Dict[int, float] = {}
+    for p in range(n):
+        total = 0.0
+        for o in neighborhood[p]:
+            total += reach_dist(p, o)
+        lrd[p] = np.inf if total == 0.0 else len(neighborhood[p]) / total
+
+    lof = np.empty(n)
+    for p in range(n):
+        ratios = []
+        for o in neighborhood[p]:
+            if np.isinf(lrd[o]) and np.isinf(lrd[p]):
+                ratios.append(1.0)
+            elif np.isinf(lrd[p]):
+                ratios.append(0.0)
+            else:
+                ratios.append(lrd[o] / lrd[p])
+        lof[p] = sum(ratios) / len(ratios)
+    return lof
+
+
+def naive_lrd(
+    X,
+    min_pts: int,
+    metric="euclidean",
+) -> np.ndarray:
+    """lrd_MinPts for every object, the naive way."""
+    X = check_data(X, min_rows=2)
+    min_pts = check_min_pts(min_pts, X.shape[0])
+    metric_obj = get_metric(metric)
+    out = np.empty(len(X))
+    for p in range(len(X)):
+        kdist_p, hood = naive_k_distance_and_neighborhood(
+            X, p, min_pts, metric_obj
+        )
+        total = 0.0
+        for o in hood:
+            kdist_o, _ = naive_k_distance_and_neighborhood(
+                X, o, min_pts, metric_obj
+            )
+            total += max(kdist_o, metric_obj.distance(X[p], X[o]))
+        out[p] = np.inf if total == 0.0 else len(hood) / total
+    return out

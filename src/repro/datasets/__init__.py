@@ -1,0 +1,79 @@
+"""Seeded synthetic datasets for every experiment in the paper.
+
+* :mod:`~repro.datasets.clusters` — primitive generators and labeled
+  assembly;
+* :mod:`~repro.datasets.paper` — the figure datasets (DS1, the Gaussian
+  cloud, figure 8's S1/S2/S3, figure 9's four clusters);
+* :mod:`~repro.datasets.hockey` — the NHL96 stand-in (Section 7.2);
+* :mod:`~repro.datasets.soccer` — the Bundesliga 98/99 stand-in
+  (Section 7.3 / Table 3);
+* :mod:`~repro.datasets.histograms` — 64-d TV-snapshot histograms;
+* :mod:`~repro.datasets.perf` — figure 10/11 performance mixtures.
+"""
+
+from .clusters import LabeledDataset, assemble, gaussian_cluster, uniform_cluster
+from .gallery import (
+    GALLERY,
+    make_chain,
+    make_line_and_cloud,
+    make_ring,
+    make_two_densities,
+    make_uniform_noise,
+    outlier_labels,
+)
+from .histograms import make_tv_snapshots
+from .hockey import (
+    PLANTED_PLAYERS as HOCKEY_PLANTED_PLAYERS,
+    TEST1_ATTRIBUTES,
+    TEST2_ATTRIBUTES,
+    HockeyDataset,
+    load_nhl96,
+)
+from .paper import (
+    make_ds1,
+    make_fig8_dataset,
+    make_fig9_dataset,
+    make_gaussian_cloud,
+    make_uniform_square,
+)
+from .perf import make_performance_dataset
+from .transforms import FittedTransform, min_max_scale, standardize
+from .soccer import (
+    PLANTED_PLAYERS as SOCCER_PLANTED_PLAYERS,
+    POSITIONS,
+    SoccerDataset,
+    load_bundesliga,
+)
+
+__all__ = [
+    "GALLERY",
+    "make_chain",
+    "make_line_and_cloud",
+    "make_ring",
+    "make_two_densities",
+    "make_uniform_noise",
+    "outlier_labels",
+    "LabeledDataset",
+    "assemble",
+    "gaussian_cluster",
+    "uniform_cluster",
+    "make_tv_snapshots",
+    "HOCKEY_PLANTED_PLAYERS",
+    "TEST1_ATTRIBUTES",
+    "TEST2_ATTRIBUTES",
+    "HockeyDataset",
+    "load_nhl96",
+    "make_ds1",
+    "make_fig8_dataset",
+    "make_fig9_dataset",
+    "make_gaussian_cloud",
+    "make_uniform_square",
+    "make_performance_dataset",
+    "FittedTransform",
+    "min_max_scale",
+    "standardize",
+    "SOCCER_PLANTED_PLAYERS",
+    "POSITIONS",
+    "SoccerDataset",
+    "load_bundesliga",
+]

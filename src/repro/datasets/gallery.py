@@ -1,0 +1,122 @@
+"""A labeled anomaly-benchmark gallery.
+
+Standard synthetic detection scenarios with ground-truth outlier
+labels, for quantitative method comparison (via
+:mod:`repro.analysis.evaluation`). Each scenario isolates one geometric
+challenge the paper's discussion raises:
+
+``two_densities``
+    the headline case: clusters of very different densities with local
+    outliers near the dense one (Section 3's o2);
+``ring``
+    a non-convex support: inliers on an annulus, outliers in the hole
+    and outside — defeats centroid-based methods (Mahalanobis);
+``line_and_cloud``
+    a tight 1-d manifold beside a diffuse blob: outliers just off the
+    line are locally glaring but globally unremarkable;
+``chain``
+    clusters of graded densities in a row, outliers planted between
+    them at matching scales — scores must adapt per neighborhood;
+``uniform_noise``
+    a single cluster inside sparse background noise: every noise point
+    is an outlier (the easy global case, a sanity baseline).
+
+All generators return :class:`~repro.datasets.clusters.LabeledDataset`
+objects whose ``outlier`` component is the ground truth, plus the
+convenience :func:`outlier_labels`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from .._validation import check_seed
+from .clusters import LabeledDataset, assemble, gaussian_cluster, uniform_cluster
+
+
+def outlier_labels(ds: LabeledDataset) -> np.ndarray:
+    """Boolean ground-truth vector: True for the 'outlier' component."""
+    labels = np.zeros(ds.n, dtype=bool)
+    labels[ds.members("outlier")] = True
+    return labels
+
+
+def make_two_densities(seed=0) -> LabeledDataset:
+    """Sparse + dense clusters with local outliers near the dense one
+    (Section 3's o2 configuration, with ground truth)."""
+    rng = check_seed(seed)
+    sparse = uniform_cluster(150, low=(0.0, 0.0), high=(20.0, 20.0), seed=rng)
+    dense = gaussian_cluster(100, center=(40.0, 10.0), std=0.3, seed=rng)
+    outliers = np.array(
+        [[40.0, 12.5], [42.5, 10.0], [40.0, 7.5], [30.0, 30.0], [50.0, 25.0]]
+    )
+    return assemble([("sparse", sparse), ("dense", dense), ("outlier", outliers)])
+
+
+def make_ring(seed=0) -> LabeledDataset:
+    """Annulus inliers with outliers in the hole and outside — the
+    non-convex case that inverts centroid-based scoring."""
+    rng = check_seed(seed)
+    angles = rng.uniform(0, 2 * np.pi, 300)
+    radii = rng.normal(10.0, 0.4, 300)
+    ring = np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+    outliers = np.array(
+        [[0.0, 0.0], [1.0, -1.0], [16.0, 0.0], [0.0, 17.0], [-15.5, -4.0]]
+    )
+    return assemble([("ring", ring), ("outlier", outliers)])
+
+
+def make_line_and_cloud(seed=0) -> LabeledDataset:
+    """A tight 1-d manifold beside a diffuse blob; outliers sit a few
+    line-neighborhood spans off the line."""
+    rng = check_seed(seed)
+    t = rng.uniform(0.0, 30.0, 200)
+    line = np.column_stack([t, 0.5 * t]) + rng.normal(scale=0.05, size=(200, 2))
+    cloud = gaussian_cluster(120, center=(10.0, 25.0), std=3.0, seed=rng)
+    # Offsets are several times the line's MinPts-scale neighborhood
+    # span (~1.3 units at MinPts=15), yet far from the cloud.
+    outliers = np.array([[5.0, 7.0], [15.0, 12.0], [28.0, 8.0]])
+    return assemble([("line", line), ("cloud", cloud), ("outlier", outliers)])
+
+
+def make_chain(seed=0) -> LabeledDataset:
+    """Clusters of graded densities with one outlier planted per
+    cluster at a matching ~5.5-sigma offset."""
+    rng = check_seed(seed)
+    parts = []
+    outliers = []
+    centers = [0.0, 12.0, 24.0, 36.0]
+    stds = [0.2, 0.5, 1.0, 2.0]
+    for idx, (cx, std) in enumerate(zip(centers, stds)):
+        parts.append(
+            (f"cluster_{idx}", gaussian_cluster(120, center=(cx, 0.0), std=std, seed=rng))
+        )
+        # One planted outlier per cluster, offset ~5 sigma of *that*
+        # cluster: locally equally glaring at every scale.
+        outliers.append([cx + 5.5 * std, 5.5 * std])
+    parts.append(("outlier", np.array(outliers)))
+    return assemble(parts)
+
+
+def make_uniform_noise(seed=0) -> LabeledDataset:
+    """One Gaussian cluster inside sparse background noise — the easy
+    global scenario every method should handle."""
+    rng = check_seed(seed)
+    cluster = gaussian_cluster(250, center=(0.0, 0.0), std=1.0, seed=rng)
+    noise = uniform_cluster(20, low=(-15.0, -15.0), high=(15.0, 15.0), seed=rng)
+    # Noise points that landed inside the cluster's support are not
+    # meaningfully outlying; push them out.
+    norms = np.linalg.norm(noise, axis=1)
+    noise[norms < 5.0] *= (6.0 / np.maximum(norms[norms < 5.0], 0.5))[:, None]
+    return assemble([("cluster", cluster), ("outlier", noise)])
+
+
+GALLERY: Dict[str, Callable[..., LabeledDataset]] = {
+    "two_densities": make_two_densities,
+    "ring": make_ring,
+    "line_and_cloud": make_line_and_cloud,
+    "chain": make_chain,
+    "uniform_noise": make_uniform_noise,
+}

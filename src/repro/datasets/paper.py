@@ -1,0 +1,127 @@
+"""Generators for the paper's own illustrative datasets.
+
+Each function reconstructs, from the paper's verbal description, the
+dataset behind one figure:
+
+* :func:`make_ds1` — Figure 1's 502-object dataset DS1 (sparse cluster
+  C1, dense cluster C2, outliers o1 and o2) with the geometric property
+  Section 3's DB-outlier argument needs: d(o2, C2) is *smaller* than
+  every nearest-neighbor distance inside C1;
+* :func:`make_gaussian_cloud` — Figure 7's pure Gaussian cluster;
+* :func:`make_uniform_square` — Section 6.2's uniform-distribution
+  counterexample (no object should be outlying for MinPts >= 10);
+* :func:`make_fig8_dataset` — Figure 8's three clusters S1 (10), S2 (35)
+  and S3 (500 objects) arranged so the MinPts onsets the paper reports
+  (S1 outlying from ~10, S1+S2 relative to S3 from ~45) emerge;
+* :func:`make_fig9_dataset` — Figure 9's four clusters (one low-density
+  Gaussian, one dense Gaussian, two uniform of different densities) plus
+  seven strong planted outliers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import check_seed
+from .clusters import LabeledDataset, assemble, gaussian_cluster, uniform_cluster
+
+
+def make_ds1(seed=0) -> LabeledDataset:
+    """Figure 1's dataset DS1: 502 objects in 2-d.
+
+    400 objects in the sparse cluster C1 (a jittered grid, so its
+    nearest-neighbor distances are bounded *below*), 100 objects in the
+    dense cluster C2, and the two outliers o1 (far from everything) and
+    o2 (just outside C2, at a distance from C2 smaller than any
+    nearest-neighbor distance within C1 — the configuration for which no
+    DB(pct, dmin) parameters isolate o2 without also flagging C1).
+    """
+    rng = check_seed(seed)
+    # C1: 20 x 20 jittered grid, spacing 5, jitter < 1 in each axis; the
+    # minimum pairwise distance is therefore > 3.
+    grid = np.array(
+        [(i * 5.0, j * 5.0) for i in range(20) for j in range(20)]
+    )
+    c1 = grid + rng.uniform(-0.9, 0.9, size=grid.shape)
+    # C2: 100 points packed in a radius-1.5 disk far to the right.
+    angles = rng.uniform(0, 2 * np.pi, 100)
+    radii = 1.5 * np.sqrt(rng.uniform(0, 1, 100))
+    c2 = np.column_stack(
+        [130.0 + radii * np.cos(angles), 50.0 + radii * np.sin(angles)]
+    )
+    o1 = np.array([[65.0, 130.0]])       # far from both clusters
+    o2 = np.array([[130.0, 54.0]])       # ~2.5 beyond C2's rim: < C1's NN spacing
+    return assemble(
+        [("C1", c1), ("C2", c2), ("o1", o1), ("o2", o2)]
+    )
+
+
+def make_gaussian_cloud(n: int = 1000, dim: int = 2, seed=0) -> np.ndarray:
+    """Figure 7's dataset: one standard-normal cluster."""
+    rng = check_seed(seed)
+    return rng.normal(size=(n, dim))
+
+
+def make_uniform_square(n: int = 1000, seed=0) -> np.ndarray:
+    """Section 6.2's uniform counterexample: points uniform on a square.
+
+    For MinPts >= 10 no object should receive a LOF significantly above
+    1; for very small MinPts some do — which is exactly the paper's
+    argument for MinPtsLB >= 10.
+    """
+    rng = check_seed(seed)
+    return rng.uniform(0.0, 10.0, size=(n, 2))
+
+
+def make_fig8_dataset(seed=0) -> LabeledDataset:
+    """Figure 8's dataset: clusters S1 (10), S2 (35), S3 (500 objects).
+
+    Geometry: S1 is a tight clump, S2 a moderately tight cluster nearby
+    (so S2's neighborhoods absorb S1 once MinPts passes |S2|), and S3 a
+    large dense cluster much farther away (so the combined S1+S2 group
+    becomes outlying relative to S3 once MinPts passes |S1|+|S2|).
+    """
+    rng = check_seed(seed)
+    s1 = gaussian_cluster(10, center=(0.0, 0.0), std=0.10, seed=rng)
+    s2 = gaussian_cluster(35, center=(2.5, 0.0), std=0.25, seed=rng)
+    s3 = gaussian_cluster(500, center=(14.0, 0.0), std=0.9, seed=rng)
+    return assemble([("S1", s1), ("S2", s2), ("S3", s3)])
+
+
+def make_fig9_dataset(seed=0) -> LabeledDataset:
+    """Figure 9's dataset: four clusters and a handful of outliers.
+
+    One low-density Gaussian cluster of 200 objects, one dense Gaussian
+    cluster of 500, two uniform clusters of 500 with different densities,
+    and seven strong outliers placed in the empty space between the
+    clusters. With MinPts = 40 the uniform clusters' objects score ~1,
+    Gaussian fringes produce weak outliers (slightly above 1) and the
+    seven planted objects clearly dominate.
+    """
+    rng = check_seed(seed)
+    gauss_sparse = gaussian_cluster(200, center=(0.0, 0.0), std=6.0, seed=rng)
+    gauss_dense = gaussian_cluster(500, center=(45.0, 0.0), std=1.8, seed=rng)
+    uni_a = uniform_cluster(500, low=(20.0, 25.0), high=(36.0, 41.0), seed=rng)
+    uni_b = uniform_cluster(500, low=(-38.0, 25.0), high=(-16.0, 47.0), seed=rng)
+    outliers = np.array(
+        [
+            [22.0, 8.0],
+            [-50.0, 35.0],
+            [45.0, 16.0],
+            [0.0, 28.0],
+            [-45.0, -10.0],
+            [60.0, 30.0],
+            [30.0, -20.0],
+        ]
+    )
+    return assemble(
+        [
+            ("gaussian_sparse", gauss_sparse),
+            ("gaussian_dense", gauss_dense),
+            ("uniform_a", uni_a),
+            ("uniform_b", uni_b),
+            ("outlier", outliers),
+        ]
+    )

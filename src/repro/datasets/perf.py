@@ -1,0 +1,51 @@
+"""Performance-experiment datasets (figures 10 and 11).
+
+Section 7.4: "The datasets used were generated randomly, containing
+different numbers of Gaussian clusters of different sizes and
+densities." :func:`make_performance_dataset` reproduces that recipe for
+any (n, dim), deterministic in the seed, so the figure-10/11 sweeps can
+vary one axis at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_seed
+from ..exceptions import ValidationError
+
+
+def make_performance_dataset(
+    n: int,
+    dim: int,
+    n_clusters: int = 10,
+    seed=0,
+) -> np.ndarray:
+    """Random mixture of Gaussian clusters of varied size and density.
+
+    Cluster centers are uniform in [0, 100]^dim; cluster shares are
+    Dirichlet-distributed (so sizes genuinely differ); per-cluster
+    standard deviations are log-uniform in [0.5, 5] (so densities
+    genuinely differ). Matches the paper's description of the datasets
+    behind figures 10 and 11.
+    """
+    if n < n_clusters:
+        raise ValidationError(f"n={n} must be >= n_clusters={n_clusters}")
+    if dim < 1:
+        raise ValidationError(f"dim must be >= 1, got {dim}")
+    rng = check_seed(seed)
+    shares = rng.dirichlet(np.full(n_clusters, 2.0))
+    sizes = np.maximum(1, np.floor(shares * n).astype(int))
+    # Distribute rounding leftovers to the largest clusters.
+    while sizes.sum() < n:
+        sizes[np.argmax(shares)] += 1
+        shares[np.argmax(shares)] *= 0.999
+    while sizes.sum() > n:
+        sizes[np.argmax(sizes)] -= 1
+    blocks = []
+    for size in sizes:
+        center = rng.uniform(0.0, 100.0, size=dim)
+        std = float(np.exp(rng.uniform(np.log(0.5), np.log(5.0))))
+        blocks.append(rng.normal(loc=center, scale=std, size=(size, dim)))
+    X = np.vstack(blocks)
+    return X[rng.permutation(X.shape[0])]

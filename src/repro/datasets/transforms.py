@@ -1,0 +1,61 @@
+"""Feature-scaling transforms.
+
+LOF compares densities in whatever units the features arrive in, so
+column scaling *is* part of the model (the soccer experiment's
+standardization is the in-repo example). These helpers provide the two
+standard choices with fitted inverse transforms, so scores can be
+traced back to raw-unit neighborhoods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_data
+from ..exceptions import ValidationError
+
+
+@dataclass
+class FittedTransform:
+    """An affine per-column transform x -> (x - shift) / scale."""
+
+    shift: np.ndarray
+    scale: np.ndarray
+    kind: str
+
+    def transform(self, X) -> np.ndarray:
+        X = check_data(X, min_rows=1)
+        if X.shape[1] != self.shift.shape[0]:
+            raise ValidationError(
+                f"expected {self.shift.shape[0]} columns, got {X.shape[1]}"
+            )
+        return (X - self.shift) / self.scale
+
+    def inverse(self, Z) -> np.ndarray:
+        Z = check_data(Z, min_rows=1)
+        if Z.shape[1] != self.shift.shape[0]:
+            raise ValidationError(
+                f"expected {self.shift.shape[0]} columns, got {Z.shape[1]}"
+            )
+        return Z * self.scale + self.shift
+
+
+def standardize(X) -> FittedTransform:
+    """Zero-mean, unit-variance columns (constant columns left at
+    scale 1 so they stay finite and uninformative)."""
+    X = check_data(X, min_rows=2)
+    shift = X.mean(axis=0)
+    scale = X.std(axis=0)
+    scale = np.where(scale > 0, scale, 1.0)
+    return FittedTransform(shift=shift, scale=scale, kind="standardize")
+
+
+def min_max_scale(X) -> FittedTransform:
+    """Columns rescaled to [0, 1] (constant columns map to 0)."""
+    X = check_data(X, min_rows=2)
+    shift = X.min(axis=0)
+    scale = X.max(axis=0) - shift
+    scale = np.where(scale > 0, scale, 1.0)
+    return FittedTransform(shift=shift, scale=scale, kind="min-max")

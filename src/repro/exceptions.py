@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+from misuse of the Python API itself, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user input (data or parameters) fails validation.
+
+    Also inherits from :class:`ValueError` so generic callers that follow
+    the numpy/sklearn convention of catching ``ValueError`` keep working.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a query method is called before ``fit``."""
+
+
+class DuplicatePointsError(ReproError, ValueError):
+    """Raised in ``duplicate_mode='error'`` when MinPts-fold duplicates
+    would make the local reachability density infinite (see the remark
+    after Definition 6 in the paper)."""
+
+
+class IndexError_(ReproError):
+    """Raised for internal inconsistencies inside a spatial index.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as ``SpatialIndexError``.
+    """
+
+
+SpatialIndexError = IndexError_

@@ -1,0 +1,124 @@
+"""Ball tree with best-first k-NN search.
+
+A metric-tree alternative to the rectangle-based indexes: each node is a
+bounding ball (centroid + radius), and pruning uses the triangle
+inequality ``d(q, ball) >= d(q, center) - radius``. Balls degrade more
+gracefully than rectangles for some metrics and moderately high
+dimensions, so this index rounds out the substrate family the performance
+experiments sweep over.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .base import KBestHeap, Neighborhood, NNIndex, register_index
+
+
+@dataclass
+class _Ball:
+    center: np.ndarray
+    radius: float
+    ids: Optional[np.ndarray] = None
+    left: Optional["_Ball"] = None
+    right: Optional["_Ball"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.ids is not None
+
+
+@register_index
+class BallTreeIndex(NNIndex):
+    """Exact k-NN via a ball tree split on the widest-spread dimension."""
+
+    name = "balltree"
+
+    def __init__(self, metric="euclidean", leaf_size: int = 16):
+        super().__init__(metric=metric)
+        self.leaf_size = max(1, int(leaf_size))
+        self._root: Optional[_Ball] = None
+
+    def _build(self, X: np.ndarray) -> None:
+        self._root = self._build_node(np.arange(X.shape[0]))
+
+    def _build_node(self, ids: np.ndarray) -> _Ball:
+        pts = self._X[ids]
+        center = pts.mean(axis=0)
+        radius = float(np.max(self.metric.pairwise_to_point(pts, center))) if len(ids) else 0.0
+        if len(ids) <= self.leaf_size:
+            return _Ball(center=center, radius=radius, ids=ids)
+        spread = pts.max(axis=0) - pts.min(axis=0)
+        dim = int(np.argmax(spread))
+        if spread[dim] == 0.0:
+            return _Ball(center=center, radius=radius, ids=ids)
+        median = float(np.median(pts[:, dim]))
+        left_mask = pts[:, dim] <= median
+        if left_mask.all():
+            left_mask = pts[:, dim] < median
+        node = _Ball(center=center, radius=radius)
+        node.left = self._build_node(ids[left_mask])
+        node.right = self._build_node(ids[~left_mask])
+        return node
+
+    def _ball_min_distance(self, q: np.ndarray, ball: _Ball) -> float:
+        return max(0.0, self.metric.distance(q, ball.center) - ball.radius)
+
+    def _leaf_scan(self, node: _Ball, q: np.ndarray, exclude: Optional[int]):
+        ids = node.ids
+        if exclude is not None:
+            ids = ids[ids != exclude]
+        if len(ids) == 0:
+            return ids, np.empty(0)
+        dists = self.metric.pairwise_to_point(self._X[ids], q)
+        self.stats.distance_evaluations += len(ids)
+        return ids, dists
+
+    def _query(self, q, k, exclude):
+        frontier: List = [(self._ball_min_distance(q, self._root), 0, self._root)]
+        best = KBestHeap(k)
+        counter = 1
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            if bound > best.worst_distance:
+                break
+            self.stats.nodes_visited += 1
+            if node.is_leaf:
+                ids, dists = self._leaf_scan(node, q, exclude)
+                best.consider_many(dists, ids)
+            else:
+                for child in (node.left, node.right):
+                    child_bound = self._ball_min_distance(q, child)
+                    if child_bound <= best.worst_distance:
+                        heapq.heappush(frontier, (child_bound, counter, child))
+                        counter += 1
+        return self._sort_result(*best.result())
+
+    def _query_radius(self, q, radius, exclude):
+        out_ids: List[np.ndarray] = []
+        out_dists: List[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if self._ball_min_distance(q, node) > radius:
+                continue
+            self.stats.nodes_visited += 1
+            if node.is_leaf:
+                ids, dists = self._leaf_scan(node, q, exclude)
+                mask = dists <= radius
+                out_ids.append(ids[mask])
+                out_dists.append(dists[mask])
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        if out_ids:
+            ids = np.concatenate(out_ids)
+            dists = np.concatenate(out_dists)
+        else:
+            ids = np.empty(0, dtype=int)
+            dists = np.empty(0)
+        return self._sort_result(ids, dists)

@@ -1,0 +1,66 @@
+"""Sequential-scan k-NN — the paper's fallback for very high dimensions.
+
+Section 7.4: "For extremely high-dimensional data, we need to use a
+sequential scan or some variant of it ... with a complexity of O(n),
+leading to a complexity of O(n^2) for the materialization step."
+
+This implementation is also the reference oracle the test suite compares
+every other index against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Neighborhood, NNIndex, register_index
+
+
+@register_index
+class BruteForceIndex(NNIndex):
+    """Exact k-NN by scanning all points for every query."""
+
+    name = "brute"
+
+    def _build(self, X: np.ndarray) -> None:
+        # Nothing to precompute: the scan touches raw vectors directly.
+        pass
+
+    def _distances_to(self, q: np.ndarray, exclude: Optional[int]) -> np.ndarray:
+        dists = self.metric.pairwise_to_point(self._X, q)
+        self.stats.distance_evaluations += self._X.shape[0]
+        if exclude is not None:
+            dists = dists.copy()
+            dists[exclude] = np.inf
+        return dists
+
+    def _query(self, q, k, exclude):
+        dists = self._distances_to(q, exclude)
+        if k < len(dists):
+            # Partial selection of every point within the k-th distance
+            # (ties included), then an exact (distance, id) sort and a
+            # truncation to k — so equal-distance candidates always
+            # resolve to the lowest ids, deterministically.
+            kth = np.partition(dists, k - 1)[k - 1]
+            idx = np.flatnonzero(dists <= kth)
+        else:
+            idx = np.arange(len(dists))
+            if exclude is not None:
+                idx = idx[idx != exclude]
+        result = self._sort_result(idx, dists[idx])
+        return Neighborhood(ids=result.ids[:k], distances=result.distances[:k])
+
+    def _query_with_ties(self, q, k, exclude):
+        dists = self._distances_to(q, exclude)
+        if k < len(dists):
+            kth = np.partition(dists, k - 1)[k - 1]
+        else:
+            kth = np.max(dists[np.isfinite(dists)])
+        idx = np.flatnonzero(dists <= kth)
+        return self._sort_result(idx, dists[idx])
+
+    def _query_radius(self, q, radius, exclude):
+        dists = self._distances_to(q, exclude)
+        idx = np.flatnonzero(dists <= radius)
+        return self._sort_result(idx, dists[idx])

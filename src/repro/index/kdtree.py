@@ -1,0 +1,143 @@
+"""A kd-tree with best-first k-NN search.
+
+Section 7.4 uses "an index, which provides an average complexity of
+O(log n) for k-nn queries" for medium dimensionality. A kd-tree is the
+classic main-memory instance of that class; we build it by recursive
+median splits on the widest-spread dimension and answer queries with a
+branch-and-bound descent that prunes subtrees whose bounding rectangle is
+farther than the current k-th candidate distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .base import KBestHeap, Neighborhood, NNIndex, register_index
+
+
+@dataclass
+class _Node:
+    """One kd-tree node; leaves hold point ids, internals hold a split."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+    ids: Optional[np.ndarray] = None  # leaf payload
+    split_dim: int = -1
+    split_val: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.ids is not None
+
+
+@register_index
+class KDTreeIndex(NNIndex):
+    """Exact k-NN via a median-split kd-tree.
+
+    Parameters
+    ----------
+    leaf_size : points per leaf before splitting stops. Smaller leaves
+        prune harder but cost more node visits; 16 is a robust default.
+    """
+
+    name = "kdtree"
+
+    def __init__(self, metric="euclidean", leaf_size: int = 16):
+        super().__init__(metric=metric)
+        if leaf_size < 1:
+            leaf_size = 1
+        self.leaf_size = int(leaf_size)
+        self._root: Optional[_Node] = None
+
+    def _build(self, X: np.ndarray) -> None:
+        ids = np.arange(X.shape[0])
+        self._root = self._build_node(ids)
+
+    def _build_node(self, ids: np.ndarray) -> _Node:
+        pts = self._X[ids]
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        if len(ids) <= self.leaf_size:
+            return _Node(lo=lo, hi=hi, ids=ids)
+        spread = hi - lo
+        dim = int(np.argmax(spread))
+        if spread[dim] == 0.0:
+            # All points identical: a split cannot separate them.
+            return _Node(lo=lo, hi=hi, ids=ids)
+        vals = pts[:, dim]
+        median = float(np.median(vals))
+        left_mask = vals <= median
+        # A median equal to the max value would send everything left;
+        # rebalance by splitting strictly below the median instead.
+        if left_mask.all():
+            left_mask = vals < median
+        node = _Node(lo=lo, hi=hi, split_dim=dim, split_val=median)
+        node.left = self._build_node(ids[left_mask])
+        node.right = self._build_node(ids[~left_mask])
+        return node
+
+    # -- search --------------------------------------------------------
+
+    def _leaf_scan(self, node: _Node, q: np.ndarray, exclude: Optional[int]):
+        ids = node.ids
+        if exclude is not None:
+            ids = ids[ids != exclude]
+        if len(ids) == 0:
+            return ids, np.empty(0)
+        dists = self.metric.pairwise_to_point(self._X[ids], q)
+        self.stats.distance_evaluations += len(ids)
+        return ids, dists
+
+    def _query(self, q, k, exclude):
+        # Best-first search: a frontier heap ordered by the minimum
+        # possible distance from q to each pending subtree, and a
+        # bounded candidate heap of the k best points found so far.
+        frontier: List = [(self.metric.min_distance_to_rect(q, self._root.lo, self._root.hi), 0, self._root)]
+        best = KBestHeap(k)
+        counter = 1
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            if bound > best.worst_distance:
+                break
+            self.stats.nodes_visited += 1
+            if node.is_leaf:
+                ids, dists = self._leaf_scan(node, q, exclude)
+                best.consider_many(dists, ids)
+            else:
+                for child in (node.left, node.right):
+                    child_bound = self.metric.min_distance_to_rect(q, child.lo, child.hi)
+                    if child_bound <= best.worst_distance:
+                        heapq.heappush(frontier, (child_bound, counter, child))
+                        counter += 1
+        return self._sort_result(*best.result())
+
+    def _query_radius(self, q, radius, exclude):
+        out_ids: List[np.ndarray] = []
+        out_dists: List[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if self.metric.min_distance_to_rect(q, node.lo, node.hi) > radius:
+                continue
+            self.stats.nodes_visited += 1
+            if node.is_leaf:
+                ids, dists = self._leaf_scan(node, q, exclude)
+                mask = dists <= radius
+                out_ids.append(ids[mask])
+                out_dists.append(dists[mask])
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        if out_ids:
+            ids = np.concatenate(out_ids)
+            dists = np.concatenate(out_dists)
+        else:
+            ids = np.empty(0, dtype=int)
+            dists = np.empty(0)
+        return self._sort_result(ids, dists)

@@ -1,0 +1,203 @@
+"""Distance metrics used by the k-NN substrates.
+
+The paper writes ``d(p, q)`` abstractly; its experiments use Euclidean
+distance. We provide the Minkowski family plus Chebyshev, each exposed
+through a small object with three capabilities:
+
+``pairwise_to_point(X, q)``
+    distances from every row of ``X`` to the single point ``q``
+    (the hot path for sequential-scan k-NN);
+
+``distance(p, q)``
+    a single distance;
+
+``min_distance_to_rect(q, lo, hi)`` / ``max_distance_to_rect``
+    lower/upper bounds between a point and an axis-aligned rectangle,
+    which is what tree indexes (kd-tree, R*-tree, X-tree) need to prune.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+
+class Metric:
+    """Abstract distance metric.
+
+    Subclasses must be true metrics (symmetry, identity, triangle
+    inequality); the LOF definitions and the index pruning rules rely on
+    the triangle inequality.
+    """
+
+    name: str = "abstract"
+
+    def distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def pairwise_to_point(self, X: np.ndarray, q: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def pairwise(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Full (n, m) distance matrix between rows of X and rows of Y."""
+        out = np.empty((X.shape[0], Y.shape[0]))
+        for j in range(Y.shape[0]):
+            out[:, j] = self.pairwise_to_point(X, Y[j])
+        return out
+
+    def min_distance_to_rect(
+        self, q: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> float:
+        """Smallest possible distance from q to any point in [lo, hi]."""
+        raise NotImplementedError
+
+    def max_distance_to_rect(
+        self, q: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> float:
+        """Largest possible distance from q to any point in [lo, hi]."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class EuclideanMetric(Metric):
+    """The L2 metric; the paper's experiments use this."""
+
+    name = "euclidean"
+
+    def distance(self, p, q):
+        diff = np.asarray(p, dtype=np.float64) - np.asarray(q, dtype=np.float64)
+        return float(np.sqrt(np.dot(diff, diff)))
+
+    def pairwise_to_point(self, X, q):
+        diff = X - q
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def pairwise(self, X, Y):
+        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped against rounding.
+        xx = np.einsum("ij,ij->i", X, X)[:, None]
+        yy = np.einsum("ij,ij->i", Y, Y)[None, :]
+        sq = xx + yy - 2.0 * (X @ Y.T)
+        np.maximum(sq, 0.0, out=sq)
+        return np.sqrt(sq)
+
+    def min_distance_to_rect(self, q, lo, hi):
+        clipped = np.minimum(np.maximum(q, lo), hi)
+        diff = q - clipped
+        return float(np.sqrt(np.dot(diff, diff)))
+
+    def max_distance_to_rect(self, q, lo, hi):
+        far = np.where(np.abs(q - lo) > np.abs(q - hi), lo, hi)
+        diff = q - far
+        return float(np.sqrt(np.dot(diff, diff)))
+
+
+class ManhattanMetric(Metric):
+    """The L1 (city-block) metric."""
+
+    name = "manhattan"
+
+    def distance(self, p, q):
+        return float(np.sum(np.abs(np.asarray(p, dtype=np.float64) - q)))
+
+    def pairwise_to_point(self, X, q):
+        return np.sum(np.abs(X - q), axis=1)
+
+    def min_distance_to_rect(self, q, lo, hi):
+        clipped = np.minimum(np.maximum(q, lo), hi)
+        return float(np.sum(np.abs(q - clipped)))
+
+    def max_distance_to_rect(self, q, lo, hi):
+        far = np.where(np.abs(q - lo) > np.abs(q - hi), lo, hi)
+        return float(np.sum(np.abs(q - far)))
+
+
+class ChebyshevMetric(Metric):
+    """The L-infinity metric."""
+
+    name = "chebyshev"
+
+    def distance(self, p, q):
+        return float(np.max(np.abs(np.asarray(p, dtype=np.float64) - q)))
+
+    def pairwise_to_point(self, X, q):
+        return np.max(np.abs(X - q), axis=1)
+
+    def min_distance_to_rect(self, q, lo, hi):
+        clipped = np.minimum(np.maximum(q, lo), hi)
+        return float(np.max(np.abs(q - clipped)))
+
+    def max_distance_to_rect(self, q, lo, hi):
+        far = np.where(np.abs(q - lo) > np.abs(q - hi), lo, hi)
+        return float(np.max(np.abs(q - far)))
+
+
+class MinkowskiMetric(Metric):
+    """The general Lp metric for finite p >= 1."""
+
+    name = "minkowski"
+
+    def __init__(self, p: float = 2.0):
+        p = float(p)
+        if not np.isfinite(p) or p < 1.0:
+            raise ValidationError(f"Minkowski order p must be >= 1, got {p}")
+        self.p = p
+
+    def distance(self, p, q):
+        diff = np.abs(np.asarray(p, dtype=np.float64) - q)
+        return float(np.sum(diff ** self.p) ** (1.0 / self.p))
+
+    def pairwise_to_point(self, X, q):
+        return np.sum(np.abs(X - q) ** self.p, axis=1) ** (1.0 / self.p)
+
+    def min_distance_to_rect(self, q, lo, hi):
+        clipped = np.minimum(np.maximum(q, lo), hi)
+        return float(np.sum(np.abs(q - clipped) ** self.p) ** (1.0 / self.p))
+
+    def max_distance_to_rect(self, q, lo, hi):
+        far = np.where(np.abs(q - lo) > np.abs(q - hi), lo, hi)
+        return float(np.sum(np.abs(q - far) ** self.p) ** (1.0 / self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"MinkowskiMetric(p={self.p})"
+
+
+_METRICS: Dict[str, Type[Metric]] = {
+    "euclidean": EuclideanMetric,
+    "l2": EuclideanMetric,
+    "manhattan": ManhattanMetric,
+    "cityblock": ManhattanMetric,
+    "l1": ManhattanMetric,
+    "chebyshev": ChebyshevMetric,
+    "linf": ChebyshevMetric,
+}
+
+
+def get_metric(metric) -> Metric:
+    """Resolve a metric name or instance to a :class:`Metric`.
+
+    ``'minkowski'`` requires an explicit instance because it carries the
+    order ``p``; all other names map to parameter-free classes.
+    """
+    if isinstance(metric, Metric):
+        return metric
+    if isinstance(metric, str):
+        key = metric.lower()
+        if key == "minkowski":
+            raise ValidationError(
+                "pass MinkowskiMetric(p=...) explicitly; the string form "
+                "does not carry the order p"
+            )
+        if key in _METRICS:
+            return _METRICS[key]()
+        raise ValidationError(
+            f"unknown metric {metric!r}; choose from {sorted(set(_METRICS))} "
+            f"or pass a Metric instance"
+        )
+    raise ValidationError(
+        f"metric must be a string or Metric instance, got {type(metric).__name__}"
+    )

@@ -1,0 +1,317 @@
+"""M-tree: a metric access method (Ciaccia, Patella & Zezula, VLDB'97).
+
+The paper's index discussion (Section 7.4) is phrased over generic
+"index structures" answering k-NN queries; the X-tree family needs
+coordinate rectangles, but LOF itself only needs a *metric*. The M-tree
+closes that gap: it organizes objects purely by distances — each node
+stores routing objects with covering radii and distances to the parent
+— so it supports any metric the library defines, including ones without
+meaningful bounding boxes.
+
+Implementation: insertion chooses the subtree whose routing object is
+nearest (minimal radius enlargement as tie-break), splits use the
+mM_RAD promotion heuristic with generalized-hyperplane partitioning,
+and queries prune with the triangle inequality:
+
+    |d(q, parent) - d(parent, o)| > r(o) + radius  =>  subtree skipped
+
+Distance computations to parents are cached in the entries, giving the
+M-tree's signature saving: many candidate distances are eliminated
+without ever calling the metric.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .base import KBestHeap, Neighborhood, NNIndex, register_index
+
+
+class _MEntry:
+    """A slot in an M-tree node.
+
+    Leaf entries hold a point id; internal entries hold a child node,
+    a covering radius, and the routing object's id. ``d_parent`` is the
+    cached distance to the enclosing node's routing object.
+    """
+
+    __slots__ = ("obj_id", "d_parent", "radius", "child")
+
+    def __init__(self, obj_id: int, d_parent: float = 0.0, radius: float = 0.0, child=None):
+        self.obj_id = obj_id
+        self.d_parent = d_parent
+        self.radius = radius
+        self.child: Optional[_MNode] = child
+
+
+class _MNode:
+    __slots__ = ("is_leaf", "entries", "parent_obj")
+
+    def __init__(self, is_leaf: bool, parent_obj: Optional[int] = None):
+        self.is_leaf = is_leaf
+        self.entries: List[_MEntry] = []
+        self.parent_obj = parent_obj  # routing object id of the entry above
+
+
+@register_index
+class MTreeIndex(NNIndex):
+    """Dynamic M-tree supporting exact k-NN and radius queries.
+
+    Parameters
+    ----------
+    max_entries : node capacity (default 16; >= 4).
+    """
+
+    name = "mtree"
+
+    def __init__(self, metric="euclidean", max_entries: int = 16):
+        super().__init__(metric=metric)
+        if max_entries < 4:
+            raise ValidationError("max_entries must be >= 4")
+        self.max_entries = int(max_entries)
+        self._root: Optional[_MNode] = None
+
+    # -- distances -----------------------------------------------------------
+
+    def _dist(self, a: int, b: int) -> float:
+        self.stats.distance_evaluations += 1
+        return self.metric.distance(self._X[a], self._X[b])
+
+    def _dist_to_query(self, q: np.ndarray, obj: int) -> float:
+        self.stats.distance_evaluations += 1
+        return self.metric.distance(q, self._X[obj])
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self, X: np.ndarray) -> None:
+        self._root = _MNode(is_leaf=True, parent_obj=None)
+        for i in range(X.shape[0]):
+            self._insert(i)
+
+    def _insert(self, obj: int) -> None:
+        path: List[Tuple[_MNode, Optional[_MEntry]]] = []
+        node = self._root
+        entry_above: Optional[_MEntry] = None
+        while not node.is_leaf:
+            path.append((node, entry_above))
+            best = None
+            best_key = None
+            for entry in node.entries:
+                d = self._dist(obj, entry.obj_id)
+                enlargement = max(0.0, d - entry.radius)
+                key = (enlargement, d)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (entry, d)
+            entry, d = best
+            entry.radius = max(entry.radius, d)
+            entry_above = entry
+            node = entry.child
+        d_parent = (
+            self._dist(obj, node.parent_obj) if node.parent_obj is not None else 0.0
+        )
+        node.entries.append(_MEntry(obj_id=obj, d_parent=d_parent))
+        if len(node.entries) > self.max_entries:
+            self._split(node, path, entry_above)
+
+    def _split(
+        self,
+        node: _MNode,
+        path: List[Tuple[_MNode, Optional[_MEntry]]],
+        entry_above: Optional[_MEntry],
+    ) -> None:
+        entries = node.entries
+        # Promotion (mM_RAD, sampled): pick the pair of routing objects
+        # minimizing the larger covering radius after partitioning.
+        ids = [e.obj_id for e in entries]
+        # Distance matrix among the node's objects (small: <= M+1).
+        m = len(ids)
+        D = np.zeros((m, m))
+        for a in range(m):
+            for b in range(a + 1, m):
+                D[a, b] = D[b, a] = self._dist(ids[a], ids[b])
+        best = None
+        best_key = None
+        for a in range(m):
+            for b in range(a + 1, m):
+                # Generalized hyperplane: each object goes to the nearer
+                # promoted routing object.
+                to_a = D[:, a] <= D[:, b]
+                if to_a.all() or (~to_a).all():
+                    continue
+                r_a = D[to_a, a].max()
+                r_b = D[~to_a, b].max()
+                key = (max(r_a, r_b), r_a + r_b)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (a, b, to_a)
+        if best is None:
+            # Every pairwise distance is identical (e.g. duplicated
+            # points): no hyperplane separates anything. Fall back to a
+            # balanced arbitrary partition; radii stay correct because
+            # all distances are equal.
+            half = np.zeros(m, dtype=bool)
+            half[: m // 2] = True
+            best = (0, m - 1, half)
+        a, b, to_a = best
+        left = _MNode(is_leaf=node.is_leaf, parent_obj=ids[a])
+        right = _MNode(is_leaf=node.is_leaf, parent_obj=ids[b])
+        for pos, entry in enumerate(entries):
+            target, routing = (left, a) if to_a[pos] else (right, b)
+            entry.d_parent = D[pos, routing]
+            target.entries.append(entry)
+            # Note: entry.child's parent routing object is entry.obj_id,
+            # which a split never changes — only d_parent is rewritten.
+        r_left = max(
+            (e.d_parent + e.radius for e in left.entries), default=0.0
+        )
+        r_right = max(
+            (e.d_parent + e.radius for e in right.entries), default=0.0
+        )
+
+        if entry_above is None:
+            # Splitting the root: grow the tree.
+            new_root = _MNode(is_leaf=False, parent_obj=None)
+            new_root.entries.append(
+                _MEntry(obj_id=ids[a], d_parent=0.0, radius=r_left, child=left)
+            )
+            new_root.entries.append(
+                _MEntry(obj_id=ids[b], d_parent=0.0, radius=r_right, child=right)
+            )
+            self._root = new_root
+            return
+
+        parent, grand_entry = path[-1]
+        parent.entries.remove(entry_above)
+        d_a = (
+            self._dist(ids[a], parent.parent_obj)
+            if parent.parent_obj is not None
+            else 0.0
+        )
+        d_b = (
+            self._dist(ids[b], parent.parent_obj)
+            if parent.parent_obj is not None
+            else 0.0
+        )
+        parent.entries.append(
+            _MEntry(obj_id=ids[a], d_parent=d_a, radius=r_left, child=left)
+        )
+        parent.entries.append(
+            _MEntry(obj_id=ids[b], d_parent=d_b, radius=r_right, child=right)
+        )
+        if len(parent.entries) > self.max_entries:
+            self._split(parent, path[:-1], grand_entry)
+
+    # -- queries -----------------------------------------------------------------
+
+    def _query(self, q, k, exclude):
+        best = KBestHeap(k)
+        # Frontier of (lower bound, tiebreak, node, d(q, routing parent)).
+        frontier: List = [(0.0, 0, self._root, None)]
+        counter = 1
+        while frontier:
+            bound, _, node, d_q_parent = heapq.heappop(frontier)
+            if bound > best.worst_distance:
+                break
+            self.stats.nodes_visited += 1
+            for entry in node.entries:
+                # Triangle-inequality prefilter via the cached parent
+                # distance: skip without computing d(q, entry).
+                if d_q_parent is not None:
+                    lower = abs(d_q_parent - entry.d_parent) - entry.radius
+                    if lower > best.worst_distance:
+                        continue
+                d = self._dist_to_query(q, entry.obj_id)
+                if node.is_leaf:
+                    if exclude is not None and entry.obj_id == exclude:
+                        continue
+                    best.consider(d, entry.obj_id)
+                else:
+                    child_bound = max(0.0, d - entry.radius)
+                    if child_bound <= best.worst_distance:
+                        heapq.heappush(
+                            frontier, (child_bound, counter, entry.child, d)
+                        )
+                        counter += 1
+        return self._sort_result(*best.result())
+
+    def _query_radius(self, q, radius, exclude):
+        out_ids: List[int] = []
+        out_dists: List[float] = []
+        stack: List[Tuple[_MNode, Optional[float]]] = [(self._root, None)]
+        while stack:
+            node, d_q_parent = stack.pop()
+            self.stats.nodes_visited += 1
+            for entry in node.entries:
+                if d_q_parent is not None:
+                    if abs(d_q_parent - entry.d_parent) - entry.radius > radius:
+                        continue
+                d = self._dist_to_query(q, entry.obj_id)
+                if node.is_leaf:
+                    if exclude is not None and entry.obj_id == exclude:
+                        continue
+                    if d <= radius:
+                        out_ids.append(entry.obj_id)
+                        out_dists.append(d)
+                else:
+                    if d - entry.radius <= radius:
+                        stack.append((entry.child, d))
+        return self._sort_result(np.array(out_ids, dtype=int), np.array(out_dists))
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def leaf_point_ids(self) -> np.ndarray:
+        ids: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                ids.extend(e.obj_id for e in node.entries)
+            else:
+                stack.extend(e.child for e in node.entries)
+        return np.sort(np.array(ids, dtype=int))
+
+    def check_invariants(self) -> None:
+        """The M-tree invariants; raises on violation.
+
+        1. every object in a routing entry's subtree lies within the
+           entry's covering radius of its routing object;
+        2. every entry's cached ``d_parent`` equals the true distance to
+           the enclosing node's routing object.
+        """
+
+        def subtree_objects(node: _MNode) -> List[int]:
+            if node.is_leaf:
+                return [e.obj_id for e in node.entries]
+            out: List[int] = []
+            for e in node.entries:
+                out.extend(subtree_objects(e.child))
+            return out
+
+        def walk(node: _MNode) -> None:
+            for entry in node.entries:
+                if node.parent_obj is not None:
+                    true_d = self.metric.distance(
+                        self._X[entry.obj_id], self._X[node.parent_obj]
+                    )
+                    if abs(true_d - entry.d_parent) > 1e-9:
+                        raise ValidationError(
+                            f"stale cached parent distance for object {entry.obj_id}"
+                        )
+                if not node.is_leaf:
+                    for obj in subtree_objects(entry.child):
+                        d = self.metric.distance(
+                            self._X[obj], self._X[entry.obj_id]
+                        )
+                        if d > entry.radius + 1e-9:
+                            raise ValidationError(
+                                f"object {obj} outside covering radius of "
+                                f"routing object {entry.obj_id}"
+                            )
+                    walk(entry.child)
+
+        walk(self._root)

@@ -1,0 +1,133 @@
+"""VA-file (vector-approximation file) k-NN, after Weber, Schek & Blott.
+
+Section 7.4 names the VA-file (reference [21]) as the sequential-scan
+variant appropriate for extremely high-dimensional data. The idea: store a
+compact quantized approximation of every vector (a few bits per
+dimension); a query first scans the approximations, computing a lower and
+an upper bound on each true distance from the quantization cell, and only
+fetches the exact vectors of candidates whose lower bound beats the
+current k-th upper bound. The scan stays O(n) but touches far less "disk"
+(here: the full-precision array) than a plain scan.
+
+Bound computation uses the metric's rectangle distances, so any supported
+metric works.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .base import KBestHeap, Neighborhood, NNIndex, register_index
+
+
+@register_index
+class VAFileIndex(NNIndex):
+    """Exact k-NN over quantized vector approximations.
+
+    Parameters
+    ----------
+    bits_per_dim : number of quantization bits per dimension (1-16).
+        More bits tighten the bounds and shrink the candidate set, at the
+        cost of a larger approximation file.
+    """
+
+    name = "vafile"
+
+    def __init__(self, metric="euclidean", bits_per_dim: int = 4):
+        super().__init__(metric=metric)
+        if not 1 <= int(bits_per_dim) <= 16:
+            raise ValidationError("bits_per_dim must be in [1, 16]")
+        self.bits_per_dim = int(bits_per_dim)
+        self._cells: Optional[np.ndarray] = None
+        self._edges: Optional[np.ndarray] = None  # (levels+1, d) bin edges
+
+    def _build(self, X: np.ndarray) -> None:
+        n, d = X.shape
+        levels = 2 ** self.bits_per_dim
+        lo = X.min(axis=0)
+        hi = X.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        # Uniform per-dimension bins; edges shape (levels + 1, d).
+        steps = np.linspace(0.0, 1.0, levels + 1)[:, None]
+        self._edges = lo[None, :] + steps * span[None, :]
+        cells = np.floor((X - lo) / span * levels).astype(int)
+        np.clip(cells, 0, levels - 1, out=cells)
+        self._cells = cells
+
+    def _cell_bounds(self, q: np.ndarray):
+        """Lower/upper distance bound from q to every point's cell."""
+        cells = self._cells
+        n, d = cells.shape
+        cols = np.arange(d)
+        cell_lo = self._edges[cells, cols]      # (n, d)
+        cell_hi = self._edges[cells + 1, cols]  # (n, d)
+        self.stats.nodes_visited += n  # one approximation record per point
+        lower = np.empty(n)
+        upper = np.empty(n)
+        # Rectangle bounds vectorized for the Minkowski-family metrics.
+        clipped = np.minimum(np.maximum(q[None, :], cell_lo), cell_hi)
+        far = np.where(
+            np.abs(q[None, :] - cell_lo) > np.abs(q[None, :] - cell_hi),
+            cell_lo,
+            cell_hi,
+        )
+        name = self.metric.name
+        if name == "euclidean":
+            lower = np.sqrt(np.sum((q[None, :] - clipped) ** 2, axis=1))
+            upper = np.sqrt(np.sum((q[None, :] - far) ** 2, axis=1))
+        elif name == "manhattan":
+            lower = np.sum(np.abs(q[None, :] - clipped), axis=1)
+            upper = np.sum(np.abs(q[None, :] - far), axis=1)
+        elif name == "chebyshev":
+            lower = np.max(np.abs(q[None, :] - clipped), axis=1)
+            upper = np.max(np.abs(q[None, :] - far), axis=1)
+        else:
+            p = getattr(self.metric, "p", 2.0)
+            lower = np.sum(np.abs(q[None, :] - clipped) ** p, axis=1) ** (1.0 / p)
+            upper = np.sum(np.abs(q[None, :] - far) ** p, axis=1) ** (1.0 / p)
+        return lower, upper
+
+    def _query(self, q, k, exclude):
+        lower, upper = self._cell_bounds(q)
+        if exclude is not None:
+            lower = lower.copy()
+            upper = upper.copy()
+            lower[exclude] = np.inf
+            upper[exclude] = np.inf
+        # Phase 1: the k-th smallest *upper* bound caps the candidate set.
+        if k < len(upper):
+            cutoff = np.partition(upper, k - 1)[k - 1]
+        else:
+            cutoff = np.max(upper[np.isfinite(upper)])
+        candidates = np.flatnonzero(lower <= cutoff)
+        # Phase 2: refine candidates in ascending lower-bound order,
+        # stopping once the next lower bound exceeds the k-th exact
+        # distance found so far.
+        order = candidates[np.argsort(lower[candidates], kind="stable")]
+        best = KBestHeap(k)
+        for pid in order:
+            if lower[pid] > best.worst_distance:
+                break
+            dist = self.metric.distance(q, self._X[pid])
+            self.stats.distance_evaluations += 1
+            best.consider(dist, int(pid))
+        return self._sort_result(*best.result())
+
+    def _query_radius(self, q, radius, exclude):
+        lower, upper = self._cell_bounds(q)
+        candidates = np.flatnonzero(lower <= radius)
+        if exclude is not None:
+            candidates = candidates[candidates != exclude]
+        out_ids = []
+        out_dists = []
+        for pid in candidates:
+            dist = self.metric.distance(q, self._X[pid])
+            self.stats.distance_evaluations += 1
+            if dist <= radius:
+                out_ids.append(int(pid))
+                out_dists.append(dist)
+        return self._sort_result(np.array(out_ids, dtype=int), np.array(out_dists))

@@ -1,0 +1,14 @@
+"""Persistence: CSV for datasets/scores, binary for the
+materialization database M (the Section 7.4 intermediate result)."""
+
+from .csvio import load_dataset, load_scores, save_dataset, save_scores
+from .matio import load_materialization, save_materialization
+
+__all__ = [
+    "load_dataset",
+    "load_scores",
+    "save_dataset",
+    "save_scores",
+    "load_materialization",
+    "save_materialization",
+]

@@ -1,0 +1,120 @@
+"""CSV persistence for datasets and score files.
+
+Section 7.4's step 2 "computes the final LOF values and writes them to a
+file" so downstream ranking can run without the original data; these
+helpers provide that file format (a small, dependency-free CSV dialect)
+for both raw datasets and LOF results.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_data
+from ..exceptions import ValidationError
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(path: PathLike, X, labels: Optional[Sequence] = None) -> None:
+    """Write a dataset (and optional per-row labels) as CSV.
+
+    Columns are x0..x{d-1}, plus a final ``label`` column when labels
+    are given.
+    """
+    X = check_data(X, min_rows=1)
+    path = Path(path)
+    if labels is not None and len(labels) != X.shape[0]:
+        raise ValidationError(
+            f"labels length {len(labels)} does not match {X.shape[0]} rows"
+        )
+    header = [f"x{j}" for j in range(X.shape[1])]
+    if labels is not None:
+        header.append("label")
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for i, row in enumerate(X):
+            out = [repr(float(v)) for v in row]
+            if labels is not None:
+                out.append(str(labels[i]))
+            writer.writerow(out)
+
+
+def load_dataset(path: PathLike) -> Tuple[np.ndarray, Optional[List[str]]]:
+    """Read a dataset written by :func:`save_dataset`.
+
+    Returns ``(X, labels)``; ``labels`` is None when the file has no
+    label column.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValidationError(f"{path} is empty")
+        has_labels = header[-1] == "label"
+        n_features = len(header) - (1 if has_labels else 0)
+        if n_features < 1:
+            raise ValidationError(f"{path} has no feature columns")
+        rows = []
+        labels: Optional[List[str]] = [] if has_labels else None
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValidationError(
+                    f"{path}:{line_no}: expected {len(header)} fields, got {len(row)}"
+                )
+            try:
+                rows.append([float(v) for v in row[:n_features]])
+            except ValueError as exc:
+                raise ValidationError(f"{path}:{line_no}: {exc}") from exc
+            if has_labels:
+                labels.append(row[-1])
+    return np.array(rows, dtype=np.float64), labels
+
+
+def save_scores(
+    path: PathLike,
+    scores,
+    labels: Optional[Sequence[str]] = None,
+    score_name: str = "lof",
+) -> None:
+    """Write per-object scores (the paper's step-2 output file)."""
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if labels is not None and len(labels) != len(scores):
+        raise ValidationError("labels length does not match scores length")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = ["index", score_name] + (["label"] if labels is not None else [])
+        writer.writerow(header)
+        for i, s in enumerate(scores):
+            row = [str(i), repr(float(s))]
+            if labels is not None:
+                row.append(str(labels[i]))
+            writer.writerow(row)
+
+
+def load_scores(path: PathLike) -> Tuple[np.ndarray, Optional[List[str]]]:
+    """Read a score file written by :func:`save_scores`."""
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or len(header) < 2:
+            raise ValidationError(f"{path} is not a score file")
+        has_labels = header[-1] == "label"
+        scores = []
+        labels: Optional[List[str]] = [] if has_labels else None
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                scores.append(float(row[1]))
+            except (IndexError, ValueError) as exc:
+                raise ValidationError(f"{path}:{line_no}: {exc}") from exc
+            if has_labels:
+                labels.append(row[-1])
+    return np.array(scores, dtype=np.float64), labels

@@ -1,0 +1,102 @@
+"""Binary persistence for the materialization database M.
+
+Section 7.4 treats M as a *database*: step 1 writes it, step 2 scans it
+twice per MinPts value, and "the original database D is not needed".
+This module gives M a durable on-disk form so the two steps can run in
+separate processes (or sessions): a small self-describing binary file
+holding the padded neighbor-id and distance arrays plus the metadata
+needed to validate compatibility on load.
+
+Format (little-endian):
+
+    magic   8 bytes  b"REPROMAT"
+    version u32      currently 1
+    n       u64      number of objects
+    width   u64      padded row width
+    ub      u32      MinPtsUB
+    mode    u8       0 = 'inf', 1 = 'distinct', 2 = 'error'
+    haskeys u8       1 if coord_keys present
+    ids     n*width  int64
+    dists   n*width  float64
+    keys    n        int64 (only if haskeys)
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core.materialization import MaterializationDB
+from ..exceptions import ValidationError
+
+PathLike = Union[str, Path]
+
+_MAGIC = b"REPROMAT"
+_VERSION = 1
+_MODES = ("inf", "distinct", "error")
+_HEADER = struct.Struct("<8sIQQIBB")
+
+
+def save_materialization(path: PathLike, mat: MaterializationDB) -> None:
+    """Write M to ``path`` in the binary format above."""
+    path = Path(path)
+    n, width = mat.padded_ids.shape
+    has_keys = mat.coord_keys is not None
+    header = _HEADER.pack(
+        _MAGIC,
+        _VERSION,
+        n,
+        width,
+        mat.min_pts_ub,
+        _MODES.index(mat.duplicate_mode),
+        1 if has_keys else 0,
+    )
+    with path.open("wb") as handle:
+        handle.write(header)
+        handle.write(np.ascontiguousarray(mat.padded_ids, dtype="<i8").tobytes())
+        handle.write(np.ascontiguousarray(mat.padded_dists, dtype="<f8").tobytes())
+        if has_keys:
+            handle.write(np.ascontiguousarray(mat.coord_keys, dtype="<i8").tobytes())
+
+
+def load_materialization(path: PathLike) -> MaterializationDB:
+    """Read M back; the result answers every MinPts <= its MinPtsUB
+    exactly as the original did."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        raw = handle.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise ValidationError(f"{path} is not a materialization file (truncated)")
+        magic, version, n, width, ub, mode_code, has_keys = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise ValidationError(f"{path} is not a materialization file (bad magic)")
+        if version != _VERSION:
+            raise ValidationError(
+                f"{path} has unsupported format version {version}"
+            )
+        if mode_code >= len(_MODES):
+            raise ValidationError(f"{path} has unknown duplicate-mode code {mode_code}")
+        ids_bytes = handle.read(n * width * 8)
+        dists_bytes = handle.read(n * width * 8)
+        if len(ids_bytes) < n * width * 8 or len(dists_bytes) < n * width * 8:
+            raise ValidationError(f"{path} is truncated")
+        padded_ids = np.frombuffer(ids_bytes, dtype="<i8").reshape(n, width).copy()
+        padded_dists = (
+            np.frombuffer(dists_bytes, dtype="<f8").reshape(n, width).copy()
+        )
+        coord_keys = None
+        if has_keys:
+            keys_bytes = handle.read(n * 8)
+            if len(keys_bytes) < n * 8:
+                raise ValidationError(f"{path} is truncated (coord keys)")
+            coord_keys = np.frombuffer(keys_bytes, dtype="<i8").copy()
+    return MaterializationDB(
+        padded_ids,
+        padded_dists,
+        min_pts_ub=ub,
+        duplicate_mode=_MODES[mode_code],
+        coord_keys=coord_keys,
+    )

@@ -1,0 +1,190 @@
+"""Terminal visualization — dependency-free renderings of the paper's
+plots.
+
+Every figure in the paper is a plot; this module renders their
+terminal equivalents so the examples and benchmarks can *show* results,
+not just assert them:
+
+* :func:`ascii_heatmap` — the figure-9 LOF surface as a glyph grid;
+* :func:`sparkline` — one-line LOF-vs-MinPts curves (figure 8);
+* :func:`bar_chart` — horizontal bars for ranked scores (Table 3);
+* :func:`reachability_bars` — the OPTICS reachability plot;
+* :func:`scatter` — a coarse point plot with per-class glyphs
+  (figure 1's dataset views).
+
+All functions return strings (print them yourself), never exceed the
+requested width, and use only ASCII unless ``unicode=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ._validation import check_data
+from .exceptions import ValidationError
+
+_ASCII_RAMP = " .:-=+*#%@"
+_UNICODE_RAMP = " ▁▂▃▄▅▆▇█"
+
+
+def _ramp(unicode: bool) -> str:
+    return _UNICODE_RAMP if unicode else _ASCII_RAMP
+
+
+def _level(value: float, lo: float, hi: float, n_levels: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return int(np.clip(frac * (n_levels - 1), 0, n_levels - 1))
+
+
+def sparkline(
+    values,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    unicode: bool = True,
+) -> str:
+    """Render a sequence of values as a one-line bar profile."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if len(values) == 0:
+        raise ValidationError("values must be non-empty")
+    lo = float(values.min()) if lo is None else float(lo)
+    hi = float(values.max()) if hi is None else float(hi)
+    ramp = _ramp(unicode)
+    return "".join(ramp[_level(v, lo, hi, len(ramp))] for v in values)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values,
+    width: int = 40,
+    unicode: bool = True,
+) -> str:
+    """Horizontal bars, one row per (label, value), scaled to the max."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    labels = list(labels)
+    if len(labels) != len(values):
+        raise ValidationError("labels and values must have equal length")
+    if len(values) == 0:
+        raise ValidationError("values must be non-empty")
+    if width < 1:
+        raise ValidationError(f"width must be >= 1, got {width}")
+    peak = float(values.max())
+    bar_glyph = "█" if unicode else "#"
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        n = 0 if peak <= 0 else int(round(width * max(value, 0.0) / peak))
+        lines.append(f"{label:<{label_width}}  {bar_glyph * n} {value:.2f}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    X,
+    values,
+    width: int = 70,
+    height: int = 22,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    unicode: bool = False,
+) -> str:
+    """Bin 2-d points on a character grid; each cell shows the maximum
+    of ``values`` among its points (the figure-9 surface view)."""
+    X = check_data(X, min_rows=1)
+    if X.shape[1] != 2:
+        raise ValidationError("ascii_heatmap requires 2-d points")
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if len(values) != len(X):
+        raise ValidationError("values must align with X rows")
+    if width < 2 or height < 2:
+        raise ValidationError("width and height must be >= 2")
+    box_lo = X.min(axis=0)
+    span = np.where(X.max(axis=0) > box_lo, X.max(axis=0) - box_lo, 1.0)
+    cols = np.minimum(((X[:, 0] - box_lo[0]) / span[0] * (width - 1)).astype(int), width - 1)
+    rows = np.minimum(((X[:, 1] - box_lo[1]) / span[1] * (height - 1)).astype(int), height - 1)
+    grid = np.full((height, width), -np.inf)
+    for r, c, v in zip(rows, cols, values):
+        grid[r, c] = max(grid[r, c], v)
+    lo = float(values.min()) if lo is None else float(lo)
+    hi = float(values.max()) if hi is None else float(hi)
+    ramp = _ramp(unicode)
+    lines = []
+    for r in range(height - 1, -1, -1):
+        line = []
+        for c in range(width):
+            v = grid[r, c]
+            if not np.isfinite(v):
+                line.append(" ")
+            else:
+                # Occupied cells render at least the first visible glyph.
+                line.append(ramp[max(1, _level(v, lo, hi, len(ramp)))])
+        lines.append("".join(line))
+    return "\n".join(lines)
+
+
+def reachability_bars(
+    reachability_in_order,
+    height: int = 10,
+    unicode: bool = True,
+) -> str:
+    """Render an OPTICS reachability plot as a column chart.
+
+    Infinite entries (component starts) render as full-height markers.
+    """
+    vals = np.asarray(reachability_in_order, dtype=np.float64).reshape(-1)
+    if len(vals) == 0:
+        raise ValidationError("reachability sequence must be non-empty")
+    if height < 2:
+        raise ValidationError("height must be >= 2")
+    finite = vals[np.isfinite(vals)]
+    peak = float(finite.max()) if len(finite) else 1.0
+    columns = []
+    for v in vals:
+        if not np.isfinite(v):
+            columns.append(height)  # component boundary: full column
+        else:
+            columns.append(max(1, int(round(height * v / peak))) if peak > 0 else 1)
+    glyph = "█" if unicode else "#"
+    boundary = "!" if not unicode else "│"
+    lines = []
+    for level in range(height, 0, -1):
+        row = []
+        for v, col in zip(vals, columns):
+            if not np.isfinite(v):
+                row.append(boundary)
+            else:
+                row.append(glyph if col >= level else " ")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def scatter(
+    X,
+    labels=None,
+    width: int = 70,
+    height: int = 22,
+    glyphs: str = "ox+*sdv^",
+) -> str:
+    """Coarse 2-d scatter plot; points of class i use ``glyphs[i]``."""
+    X = check_data(X, min_rows=1)
+    if X.shape[1] != 2:
+        raise ValidationError("scatter requires 2-d points")
+    if labels is None:
+        labels = np.zeros(len(X), dtype=int)
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    if len(labels) != len(X):
+        raise ValidationError("labels must align with X rows")
+    if labels.min() < 0 or labels.max() >= len(glyphs):
+        raise ValidationError(
+            f"labels must index into the {len(glyphs)} available glyphs"
+        )
+    box_lo = X.min(axis=0)
+    span = np.where(X.max(axis=0) > box_lo, X.max(axis=0) - box_lo, 1.0)
+    cols = np.minimum(((X[:, 0] - box_lo[0]) / span[0] * (width - 1)).astype(int), width - 1)
+    rows = np.minimum(((X[:, 1] - box_lo[1]) / span[1] * (height - 1)).astype(int), height - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for r, c, lab in zip(rows, cols, labels):
+        grid[r][c] = glyphs[lab]
+    return "\n".join("".join(row) for row in reversed(grid))

@@ -1,0 +1,129 @@
+"""Detection-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_precision,
+    best_f1,
+    precision_at_n,
+    recall_at_n,
+    roc_auc,
+)
+from repro.exceptions import ValidationError
+
+
+SCORES = np.array([0.1, 0.9, 0.8, 0.2, 0.7, 0.3])
+LABELS = np.array([False, True, True, False, False, False])
+
+
+class TestPrecisionRecall:
+    def test_precision_at_n(self):
+        assert precision_at_n(SCORES, LABELS, 2) == pytest.approx(1.0)
+        assert precision_at_n(SCORES, LABELS, 3) == pytest.approx(2 / 3)
+
+    def test_recall_at_n(self):
+        assert recall_at_n(SCORES, LABELS, 1) == pytest.approx(0.5)
+        assert recall_at_n(SCORES, LABELS, 2) == pytest.approx(1.0)
+
+    def test_n_clipped_to_dataset(self):
+        assert recall_at_n(SCORES, LABELS, 100) == pytest.approx(1.0)
+
+    def test_bad_n(self):
+        with pytest.raises(ValidationError):
+            precision_at_n(SCORES, LABELS, 0)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([3.0, 2.0, 1.0, 0.5], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        ap = average_precision([0.1, 0.2, 0.9, 1.0], [1, 1, 0, 0])
+        # Positives at ranks 3 and 4: AP = (1/3 + 2/4) / 2.
+        assert ap == pytest.approx((1 / 3 + 2 / 4) / 2)
+
+    def test_example(self):
+        assert average_precision(SCORES, LABELS) == pytest.approx(1.0)
+
+
+class TestRocAuc:
+    def test_perfect(self):
+        assert roc_auc([5.0, 4.0, 1.0, 0.0], [1, 1, 0, 0]) == pytest.approx(1.0)
+
+    def test_inverted(self):
+        assert roc_auc([0.0, 1.0, 4.0, 5.0], [1, 1, 0, 0]) == pytest.approx(0.0)
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=2000)
+        labels = rng.uniform(size=2000) < 0.3
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_count_half(self):
+        assert roc_auc([1.0, 1.0], [1, 0]) == pytest.approx(0.5)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        scores = rng.integers(0, 5, size=50).astype(float)  # many ties
+        labels = rng.uniform(size=50) < 0.4
+        if not labels.any() or labels.all():
+            labels[0] = True
+            labels[1] = False
+        pos = scores[labels][:, None]
+        neg = scores[~labels][None, :]
+        brute = ((pos > neg).sum() + 0.5 * (pos == neg).sum()) / (
+            labels.sum() * (~labels).sum()
+        )
+        assert roc_auc(scores, labels) == pytest.approx(float(brute))
+
+
+class TestBestF1:
+    def test_perfect_separation(self):
+        res = best_f1([5.0, 4.0, 1.0, 0.0], [1, 1, 0, 0])
+        assert res.f1 == pytest.approx(1.0)
+        assert res.precision == pytest.approx(1.0)
+        assert res.recall == pytest.approx(1.0)
+        # The threshold reproduces the flagging.
+        scores = np.array([5.0, 4.0, 1.0, 0.0])
+        np.testing.assert_array_equal(scores > res.threshold, [1, 1, 0, 0])
+
+    def test_imperfect(self):
+        res = best_f1(SCORES, LABELS)
+        assert 0 < res.f1 <= 1.0
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            roc_auc([1.0], [1, 0])
+
+    def test_no_positives(self):
+        with pytest.raises(ValidationError):
+            roc_auc([1.0, 2.0], [0, 0])
+
+    def test_no_negatives(self):
+        with pytest.raises(ValidationError):
+            roc_auc([1.0, 2.0], [1, 1])
+
+    def test_nan_scores(self):
+        with pytest.raises(ValidationError):
+            roc_auc([np.nan, 1.0], [1, 0])
+
+
+class TestEndToEnd:
+    def test_lof_beats_global_methods_on_auc(self, two_density_clusters):
+        """Quantified version of the motivation: LOF's AUC for the
+        local outlier dominates the global baselines'."""
+        from repro import lof_scores
+        from repro.baselines import knn_distance_scores, zscore_scores
+
+        X = two_density_clusters
+        labels = np.zeros(len(X), dtype=bool)
+        labels[-1] = True
+        lof_auc = roc_auc(lof_scores(X, 10), labels)
+        knn_auc = roc_auc(knn_distance_scores(X, 10), labels)
+        z_auc = roc_auc(zscore_scores(X), labels)
+        assert lof_auc > 0.99
+        assert lof_auc > knn_auc
+        assert lof_auc > z_auc

@@ -1,0 +1,68 @@
+"""Per-dimension outlier explanations (the Section 8 future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dimension_contributions, neighborhood_deviation
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def axis_outlier():
+    """Cluster in 3-d; the last point is outlying in dimension 1 only."""
+    rng = np.random.default_rng(3)
+    cluster = rng.normal(size=(60, 3))
+    point = np.array([[0.0, 9.0, 0.0]])
+    return np.vstack([cluster, point])
+
+
+class TestDimensionContributions:
+    def test_identifies_guilty_dimension(self, axis_outlier):
+        exp = dimension_contributions(axis_outlier, 60, min_pts=8)
+        assert exp.order[0] == 1
+        assert exp.strength[1] > exp.strength[0]
+        assert exp.strength[1] > exp.strength[2]
+
+    def test_lof_recorded(self, axis_outlier):
+        from repro import lof_scores
+
+        exp = dimension_contributions(axis_outlier, 60, min_pts=8)
+        assert exp.lof == pytest.approx(lof_scores(axis_outlier, 8)[60])
+
+    def test_removal_normalizes(self, axis_outlier):
+        # Removing dimension 1 makes the object ordinary: contribution
+        # is nearly the whole LOF excess.
+        exp = dimension_contributions(axis_outlier, 60, min_pts=8)
+        assert exp.strength[1] > 0.5 * (exp.lof - 1.0)
+
+    def test_needs_two_dimensions(self):
+        with pytest.raises(ValidationError):
+            dimension_contributions(np.zeros((10, 1)) + np.arange(10)[:, None], 0, 3)
+
+    def test_top_helper(self, axis_outlier):
+        exp = dimension_contributions(axis_outlier, 60, min_pts=8)
+        assert list(exp.top(1)) == [1]
+
+
+class TestNeighborhoodDeviation:
+    def test_identifies_guilty_dimension(self, axis_outlier):
+        exp = neighborhood_deviation(axis_outlier, 60, min_pts=8)
+        assert exp.order[0] == 1
+
+    def test_inlier_has_small_deviations(self, axis_outlier):
+        exp = neighborhood_deviation(axis_outlier, 0, min_pts=8)
+        assert exp.strength.max() < 3.0
+
+    def test_zero_spread_convention(self):
+        # A constant dimension with no deviation scores 0, not NaN.
+        X = np.column_stack(
+            [np.random.default_rng(0).normal(size=30), np.ones(30)]
+        )
+        exp = neighborhood_deviation(X, 0, min_pts=5)
+        assert exp.strength[1] == 0.0
+        assert np.all(np.isfinite(exp.strength) | np.isinf(exp.strength))
+
+    def test_kind_labels(self, axis_outlier):
+        a = dimension_contributions(axis_outlier, 60, min_pts=8)
+        b = neighborhood_deviation(axis_outlier, 60, min_pts=8)
+        assert a.kind != b.kind

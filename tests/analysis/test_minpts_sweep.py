@@ -1,0 +1,87 @@
+"""Section 6.1 sweeps (figures 7 and 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro import MaterializationDB, lof_scores
+from repro.analysis import MinPtsSweep, outlier_onset, sweep_min_pts
+from repro.datasets import make_gaussian_cloud
+
+
+@pytest.fixture(scope="module")
+def gaussian_sweep():
+    X = make_gaussian_cloud(400, seed=0)
+    return sweep_min_pts(X, 2, 30), X
+
+
+class TestSweep:
+    def test_rows_match_single_computations(self, gaussian_sweep):
+        sweep, X = gaussian_sweep
+        for row, k in enumerate(sweep.min_pts_values[:5]):
+            np.testing.assert_allclose(
+                sweep.lof_matrix[row], lof_scores(X, int(k)), rtol=1e-9
+            )
+
+    def test_summary_statistics_shapes(self, gaussian_sweep):
+        sweep, X = gaussian_sweep
+        m = len(sweep.min_pts_values)
+        assert sweep.lof_min.shape == (m,)
+        assert sweep.lof_max.shape == (m,)
+        assert sweep.lof_mean.shape == (m,)
+        assert sweep.lof_std.shape == (m,)
+        assert np.all(sweep.lof_min <= sweep.lof_mean)
+        assert np.all(sweep.lof_mean <= sweep.lof_max)
+
+    def test_figure7_initial_drop(self, gaussian_sweep):
+        """'Initially, when MinPts is 2 ... there is an initial drop on
+        the maximum LOF value' as MinPts grows."""
+        sweep, _ = gaussian_sweep
+        at2 = sweep.lof_max[sweep.min_pts_values == 2][0]
+        at10 = sweep.lof_max[sweep.min_pts_values == 10][0]
+        assert at10 < at2
+
+    def test_non_monotonic(self, gaussian_sweep):
+        """Section 6.1's headline: LOF neither increases nor decreases
+        monotonically in MinPts."""
+        sweep, _ = gaussian_sweep
+        diffs = np.diff(sweep.lof_matrix, axis=0)
+        per_object_mixed = (diffs.max(axis=0) > 1e-9) & (diffs.min(axis=0) < -1e-9)
+        assert per_object_mixed.mean() > 0.5
+
+    def test_profile_accessors(self, gaussian_sweep):
+        sweep, _ = gaussian_sweep
+        prof = sweep.profile(3)
+        assert prof.shape == (len(sweep.min_pts_values),)
+        many = sweep.profiles([0, 1, 2])
+        assert set(many) == {0, 1, 2}
+
+    def test_prebuilt_materialization(self):
+        X = make_gaussian_cloud(100, seed=1)
+        mat = MaterializationDB.materialize(X, 20)
+        sweep = sweep_min_pts(materialization=mat, min_pts_lb=5, min_pts_ub=20)
+        np.testing.assert_allclose(sweep.lof_matrix[0], lof_scores(X, 5), rtol=1e-9)
+
+
+class TestOnsetDetection:
+    def test_onset_found(self):
+        # Small cluster near big cluster: small-cluster objects become
+        # outlying once MinPts exceeds the small cluster's size.
+        rng = np.random.default_rng(0)
+        small = rng.normal(loc=(0, 0), scale=0.1, size=(8, 2))
+        big = rng.normal(loc=(4, 0), scale=0.3, size=(200, 2))
+        X = np.vstack([small, big])
+        sweep = sweep_min_pts(X, 2, 30)
+        onset = outlier_onset(sweep, 0, threshold=1.5)
+        assert onset is not None
+        assert onset >= 8  # can only happen once neighbors leave 'small'
+
+    def test_no_onset_for_deep_member(self):
+        X = make_gaussian_cloud(300, seed=2)
+        sweep = sweep_min_pts(X, 10, 30)
+        center = int(np.argmin(np.linalg.norm(X, axis=1)))
+        assert outlier_onset(sweep, center, threshold=1.5) is None
+
+    def test_stabilization_helper(self, gaussian_sweep):
+        sweep, _ = gaussian_sweep
+        k = sweep.stabilization_min_pts(tolerance=0.2)
+        assert sweep.min_pts_values[0] <= k <= sweep.min_pts_values[-1]

@@ -1,0 +1,78 @@
+"""Ranking-stability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    min_pts_stability,
+    subsample_stability,
+    top_k_jaccard,
+)
+from repro.exceptions import ValidationError
+
+
+class TestJaccard:
+    def test_identical_rankings(self):
+        s = np.array([3.0, 1.0, 2.0, 0.5])
+        assert top_k_jaccard(s, s, 2) == 1.0
+
+    def test_disjoint_tops(self):
+        a = np.array([9.0, 8.0, 1.0, 1.0])
+        b = np.array([1.0, 1.0, 9.0, 8.0])
+        assert top_k_jaccard(a, b, 2) == 0.0
+
+    def test_partial_overlap(self):
+        a = np.array([9.0, 8.0, 7.0, 0.0])
+        b = np.array([9.0, 0.0, 8.0, 7.0])
+        assert top_k_jaccard(a, b, 2) == pytest.approx(1 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            top_k_jaccard([1.0], [1.0, 2.0], 1)
+
+    def test_k_clipped(self):
+        s = np.array([1.0, 2.0])
+        assert top_k_jaccard(s, s, 100) == 1.0
+
+
+class TestMinPtsStability:
+    def test_clear_outliers_are_stable(self, cluster_and_outlier):
+        # One blatant outlier: every MinPts agrees on the top-1.
+        report = min_pts_stability(cluster_and_outlier, 3, 10, k=1)
+        assert report.mean == 1.0
+        assert report.worst == 1.0
+
+    def test_multiscale_data_is_unstable(self):
+        """On the figure-8 structure the single-MinPts rankings disagree
+        with the aggregated one — the quantified version of why the
+        paper recommends the range heuristic."""
+        from repro.datasets import make_fig8_dataset
+
+        ds = make_fig8_dataset(seed=0)
+        report = min_pts_stability(ds.X, 10, 50, k=10)
+        assert report.worst < 0.5
+
+    def test_keys_are_min_pts_values(self, cluster_and_outlier):
+        report = min_pts_stability(cluster_and_outlier, 3, 6, k=2)
+        assert sorted(report.agreement) == [3, 4, 5, 6]
+
+
+class TestSubsampleStability:
+    def test_blatant_outlier_persists(self, cluster_and_outlier):
+        report = subsample_stability(
+            cluster_and_outlier, min_pts=5, k=1, fraction=0.9, n_trials=5
+        )
+        assert report.mean > 0.7
+
+    def test_deterministic_given_seed(self, cluster_and_outlier):
+        a = subsample_stability(cluster_and_outlier, 5, k=3, n_trials=3, seed=1)
+        b = subsample_stability(cluster_and_outlier, 5, k=3, n_trials=3, seed=1)
+        assert a.agreement == b.agreement
+
+    def test_bad_fraction(self, cluster_and_outlier):
+        with pytest.raises(ValidationError):
+            subsample_stability(cluster_and_outlier, 5, fraction=0.0)
+
+    def test_bad_trials(self, cluster_and_outlier):
+        with pytest.raises(ValidationError):
+            subsample_stability(cluster_and_outlier, 5, n_trials=0)

@@ -1,0 +1,83 @@
+"""Closed-form curves of Section 5.3 (figures 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    figure4_curves,
+    figure5_curve,
+    lof_bound_spread,
+    lof_bounds_model,
+    relative_span,
+)
+from repro.exceptions import ValidationError
+
+
+class TestBoundsModel:
+    def test_zero_fluctuation_collapses(self):
+        lo, hi = lof_bounds_model(ratio=4.0, pct=0.0)
+        assert lo == hi == pytest.approx(4.0)
+
+    def test_paper_figure3_example(self):
+        # "suppose d_min is 4 times i_max and d_max is 6 times i_min:
+        # then LOF is between 4 and 6" — encode as asymmetric check via
+        # the raw bound formulas.
+        lo, hi = lof_bounds_model(ratio=5.0, pct=10.0)
+        assert lo < 5.0 < hi
+
+    def test_spread_linear_in_ratio(self):
+        # Figure 4's observation: fixed pct -> spread linear in ratio.
+        ratios = np.array([1.0, 10.0, 50.0])
+        spread = lof_bound_spread(ratios, pct=5.0)
+        np.testing.assert_allclose(spread / ratios, spread[0] / ratios[0], rtol=1e-12)
+
+    def test_spread_grows_with_pct(self):
+        s1 = lof_bound_spread(10.0, 1.0)
+        s5 = lof_bound_spread(10.0, 5.0)
+        s10 = lof_bound_spread(10.0, 10.0)
+        assert s1 < s5 < s10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            lof_bounds_model(ratio=0.0, pct=5.0)
+        with pytest.raises(ValidationError):
+            lof_bounds_model(ratio=1.0, pct=100.0)
+
+
+class TestRelativeSpan:
+    def test_closed_form(self):
+        # The paper's formula: 4*(pct/100) / (1 - (pct/100)^2).
+        for pct in (1.0, 5.0, 10.0, 50.0):
+            f = pct / 100.0
+            assert relative_span(pct) == pytest.approx(4 * f / (1 - f * f))
+
+    def test_equals_spread_over_ratio(self):
+        # Consistency: relative span == spread / ratio for any ratio.
+        for ratio in (2.0, 17.0):
+            for pct in (3.0, 20.0):
+                assert relative_span(pct) == pytest.approx(
+                    float(lof_bound_spread(ratio, pct)) / ratio
+                )
+
+    def test_diverges_toward_100(self):
+        assert relative_span(99.0) > 100.0
+
+    def test_small_for_reasonable_pct(self):
+        # "very small for reasonable values of pct"
+        assert relative_span(10.0) < 0.5
+
+
+class TestFigureSeries:
+    def test_figure4_structure(self):
+        curves = figure4_curves()
+        assert curves.lof_min.shape == (3, 100)
+        assert curves.pct_values == (1.0, 5.0, 10.0)
+        # Bounds bracket the ratio for every pct.
+        for row in range(3):
+            assert np.all(curves.lof_min[row] <= curves.ratios)
+            assert np.all(curves.lof_max[row] >= curves.ratios)
+
+    def test_figure5_structure(self):
+        pct, span = figure5_curve()
+        assert len(pct) == len(span) == 99
+        assert np.all(np.diff(span) > 0)  # strictly increasing

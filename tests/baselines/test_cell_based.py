@@ -1,0 +1,82 @@
+"""The cell-based DB-outlier algorithm (Knorr & Ng, VLDB'98)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import cell_based_db_outliers, db_outliers
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def mixture():
+    rng = np.random.default_rng(3)
+    return np.vstack(
+        [rng.normal(size=(180, 2)), rng.uniform(-5, 5, size=(40, 2))]
+    )
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "pct,dmin", [(95.0, 0.5), (99.0, 1.0), (90.0, 0.25), (99.5, 2.0)]
+    )
+    def test_matches_nested_loop(self, mixture, pct, dmin):
+        cell = cell_based_db_outliers(mixture, pct, dmin)
+        reference = db_outliers(mixture, pct=pct, dmin=dmin)
+        np.testing.assert_array_equal(cell, reference)
+
+    def test_one_dimensional(self):
+        X = np.random.default_rng(1).normal(size=(150, 1))
+        np.testing.assert_array_equal(
+            cell_based_db_outliers(X, 95.0, 0.3),
+            db_outliers(X, pct=95.0, dmin=0.3),
+        )
+
+    def test_three_dimensional(self):
+        X = np.random.default_rng(2).normal(size=(120, 3))
+        np.testing.assert_array_equal(
+            cell_based_db_outliers(X, 95.0, 0.8),
+            db_outliers(X, pct=95.0, dmin=0.8),
+        )
+
+    def test_boundary_distances(self):
+        # Pairs at exactly dmin must count as 'inside' (d <= dmin).
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+        cell = cell_based_db_outliers(X, 50.0, 1.0)
+        reference = db_outliers(X, pct=50.0, dmin=1.0)
+        np.testing.assert_array_equal(cell, reference)
+
+
+class TestWholesaleDecisions:
+    def test_stats_account_for_all_cells(self, mixture):
+        mask, stats = cell_based_db_outliers(
+            mixture, 95.0, 0.5, return_stats=True
+        )
+        assert stats.red_cells + stats.outlier_cells + stats.white_cells == stats.n_cells
+
+    def test_dense_data_decides_wholesale(self):
+        """On one dense blob with a large dmin, the red rule fires for
+        most cells: almost no exact distances are computed."""
+        X = np.random.default_rng(4).normal(scale=0.5, size=(400, 2))
+        mask, stats = cell_based_db_outliers(X, 90.0, 2.0, return_stats=True)
+        assert not mask.any()
+        assert stats.red_cells > 0.5 * stats.n_cells
+        assert stats.exact_distance_pairs < 400 * 400 / 10
+
+    def test_isolated_points_decided_wholesale(self):
+        """Far-apart points in an otherwise empty region: the outlier
+        rule fires without distance computations for their cells."""
+        rng = np.random.default_rng(5)
+        X = np.vstack([rng.normal(scale=0.3, size=(100, 2)), [[50.0, 50.0]]])
+        mask, stats = cell_based_db_outliers(X, 99.0, 1.0, return_stats=True)
+        assert mask[100]
+        assert stats.outlier_cells >= 1
+
+
+class TestValidation:
+    def test_bad_pct(self, mixture):
+        with pytest.raises(ValidationError):
+            cell_based_db_outliers(mixture, 120.0, 1.0)
+
+    def test_bad_dmin(self, mixture):
+        with pytest.raises(ValidationError):
+            cell_based_db_outliers(mixture, 95.0, 0.0)

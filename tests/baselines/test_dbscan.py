@@ -1,0 +1,96 @@
+"""DBSCAN and its noise-as-outlier view."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NOISE, dbscan, dbscan_outliers, estimate_eps
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def two_blobs():
+    rng = np.random.default_rng(13)
+    a = rng.normal(loc=(0, 0), scale=0.3, size=(50, 2))
+    b = rng.normal(loc=(5, 5), scale=0.3, size=(50, 2))
+    noise = np.array([[2.5, 2.5], [10.0, 0.0]])
+    return np.vstack([a, b, noise])
+
+
+class TestClustering:
+    def test_two_clusters_found(self, two_blobs):
+        labels = dbscan(two_blobs, eps=0.5, min_pts=5)
+        clusters = set(labels) - {NOISE}
+        assert len(clusters) == 2
+
+    def test_cluster_coherence(self, two_blobs):
+        labels = dbscan(two_blobs, eps=0.5, min_pts=5)
+        # All of blob A in one cluster, all of blob B in the other.
+        assert len(set(labels[:50]) - {NOISE}) == 1
+        assert len(set(labels[50:100]) - {NOISE}) == 1
+        assert set(labels[:50]) != set(labels[50:100]) or (
+            labels[:50] != labels[50]
+        ).any()
+
+    def test_noise_points(self, two_blobs):
+        labels = dbscan(two_blobs, eps=0.5, min_pts=5)
+        assert labels[100] == NOISE
+        assert labels[101] == NOISE
+
+    def test_min_pts_one_no_noise(self, two_blobs):
+        labels = dbscan(two_blobs, eps=0.5, min_pts=1)
+        assert NOISE not in labels
+
+    def test_deterministic(self, two_blobs):
+        a = dbscan(two_blobs, eps=0.5, min_pts=5)
+        b = dbscan(two_blobs, eps=0.5, min_pts=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_index_agnostic(self, two_blobs):
+        a = dbscan(two_blobs, eps=0.5, min_pts=5, index="brute")
+        b = dbscan(two_blobs, eps=0.5, min_pts=5, index="kdtree")
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_eps(self, two_blobs):
+        with pytest.raises(ValidationError):
+            dbscan(two_blobs, eps=-1.0, min_pts=5)
+
+
+class TestOutlierView:
+    def test_noise_mask(self, two_blobs):
+        mask = dbscan_outliers(two_blobs, eps=0.7, min_pts=5)
+        assert mask[100] and mask[101]
+        # With eps covering the blob fringes, no blob member is noise.
+        assert mask[:100].sum() == 0
+
+    def test_binary_no_degrees(self, two_blobs):
+        mask = dbscan_outliers(two_blobs, eps=0.5, min_pts=5)
+        assert mask.dtype == bool
+
+    def test_global_threshold_failure(self, two_density_clusters):
+        """The paper's criticism: one global eps cannot serve clusters
+        of different densities — either the sparse cluster shatters into
+        noise, or the local outlier is absorbed."""
+        X = two_density_clusters
+        o2 = len(X) - 1
+        eps_dense = estimate_eps(X[60:100], min_pts=5)
+        mask_tight = dbscan_outliers(X, eps=eps_dense * 1.5, min_pts=5)
+        eps_sparse = estimate_eps(X[:60], min_pts=5)
+        mask_loose = dbscan_outliers(X, eps=eps_sparse, min_pts=5)
+        tight_fails = mask_tight[:60].mean() > 0.5      # sparse cluster -> noise
+        loose_fails = not mask_loose[o2]                # o2 absorbed
+        assert tight_fails
+        assert loose_fails
+
+
+class TestEstimateEps:
+    def test_positive(self, two_blobs):
+        assert estimate_eps(two_blobs, min_pts=5) > 0
+
+    def test_quantile_monotone(self, two_blobs):
+        lo = estimate_eps(two_blobs, min_pts=5, quantile=0.5)
+        hi = estimate_eps(two_blobs, min_pts=5, quantile=0.95)
+        assert hi >= lo
+
+    def test_bad_quantile(self, two_blobs):
+        with pytest.raises(ValidationError):
+            estimate_eps(two_blobs, min_pts=5, quantile=1.5)

@@ -1,0 +1,71 @@
+"""Depth-based outliers via 2-d convex-hull peeling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import convex_hull_2d, depth_outliers, peeling_depth
+from repro.exceptions import ValidationError
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]], dtype=float)
+        hull = convex_hull_2d(pts)
+        assert set(hull) == {0, 1, 2, 3}
+
+    def test_collinear_points_on_boundary_included(self):
+        pts = np.array([[0, 0], [1, 0], [2, 0], [1, 1]], dtype=float)
+        hull = convex_hull_2d(pts)
+        assert 1 in hull  # midpoint of the bottom edge is on the boundary
+
+    def test_tiny_inputs(self):
+        assert len(convex_hull_2d(np.array([[0.0, 0.0]]))) == 1
+        assert len(convex_hull_2d(np.array([[0.0, 0.0], [1.0, 1.0]]))) == 2
+
+    def test_hull_contains_extremes(self, random_points):
+        pts = random_points[:, :2]
+        hull = set(convex_hull_2d(pts))
+        assert int(np.argmin(pts[:, 0])) in hull
+        assert int(np.argmax(pts[:, 0])) in hull
+        assert int(np.argmin(pts[:, 1])) in hull
+        assert int(np.argmax(pts[:, 1])) in hull
+
+
+class TestPeelingDepth:
+    def test_ring_structure(self):
+        # Two concentric squares: outer ring depth 1, inner depth 2.
+        outer = np.array([[0, 0], [4, 0], [4, 4], [0, 4]], dtype=float)
+        inner = np.array([[1.5, 1.5], [2.5, 1.5], [2.5, 2.5], [1.5, 2.5]])
+        depth = peeling_depth(np.vstack([outer, inner]))
+        np.testing.assert_array_equal(depth, [1, 1, 1, 1, 2, 2, 2, 2])
+
+    def test_all_points_assigned(self, random_points):
+        depth = peeling_depth(random_points[:, :2])
+        assert np.all(depth >= 1)
+
+    def test_center_is_deepest(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(200, 2))
+        depth = peeling_depth(pts)
+        center = np.argmin(np.linalg.norm(pts, axis=1))
+        assert depth[center] > np.median(depth)
+
+    def test_rejects_higher_dimensions(self, random_points):
+        with pytest.raises(ValidationError):
+            peeling_depth(random_points)  # 3-d
+
+
+class TestDepthOutliers:
+    def test_far_point_depth_one(self, cluster_and_outlier):
+        mask = depth_outliers(cluster_and_outlier, max_depth=1)
+        assert mask[30]
+
+    def test_binary_and_global(self, two_density_clusters):
+        """The failure mode the paper cites: the sparse cluster's rim
+        peels at depth 1 together with genuine outliers."""
+        mask = depth_outliers(two_density_clusters, max_depth=1)
+        assert mask[:60].sum() >= 3  # sparse-cluster rim flagged too
+
+    def test_bad_depth(self, cluster_and_outlier):
+        with pytest.raises(ValidationError):
+            depth_outliers(cluster_and_outlier, max_depth=0)

@@ -1,0 +1,53 @@
+"""kth-NN-distance ranking (Ramaswamy et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import knn_distance_scores, top_n_knn_outliers
+from repro.exceptions import ValidationError
+
+
+class TestScores:
+    def test_matches_k_distance(self, random_points):
+        from repro import k_distance
+
+        np.testing.assert_allclose(
+            knn_distance_scores(random_points, k=5),
+            k_distance(random_points, k=5),
+        )
+
+    def test_outlier_has_top_score(self, cluster_and_outlier):
+        scores = knn_distance_scores(cluster_and_outlier, k=4)
+        assert np.argmax(scores) == 30
+
+
+class TestTopN:
+    def test_matches_full_ranking(self, random_points):
+        scores = knn_distance_scores(random_points, k=5)
+        expected_order = np.lexsort((np.arange(len(scores)), -scores))[:7]
+        ids, top_scores = top_n_knn_outliers(random_points, k=5, n_outliers=7)
+        np.testing.assert_array_equal(ids, expected_order)
+        np.testing.assert_allclose(top_scores, scores[expected_order])
+
+    def test_block_size_irrelevant(self, random_points):
+        a = top_n_knn_outliers(random_points, k=4, n_outliers=5, block_size=16)
+        b = top_n_knn_outliers(random_points, k=4, n_outliers=5, block_size=1000)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_n_larger_than_dataset(self, line4):
+        ids, scores = top_n_knn_outliers(line4, k=2, n_outliers=100)
+        assert len(ids) == 4
+
+    def test_invalid_n(self, line4):
+        with pytest.raises(ValidationError):
+            top_n_knn_outliers(line4, k=2, n_outliers=0)
+
+    def test_misses_local_outlier(self, two_density_clusters):
+        """The paper's core criticism: a kth-NN-distance ranking is
+        global — the o2-style point near the dense cluster scores lower
+        than ordinary members of the sparse cluster."""
+        o2 = len(two_density_clusters) - 1
+        scores = knn_distance_scores(two_density_clusters, k=6)
+        sparse_scores = scores[:60]
+        # Many sparse-cluster inliers outrank the true local outlier.
+        assert (sparse_scores > scores[o2]).sum() > 10

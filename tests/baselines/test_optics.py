@@ -1,0 +1,100 @@
+"""OPTICS ordering and its handshake with LOF's machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import optics, optics_outliers
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(31)
+    a = rng.normal(loc=(0, 0), scale=0.3, size=(40, 2))
+    b = rng.normal(loc=(6, 0), scale=0.3, size=(40, 2))
+    return np.vstack([a, b, [[3.0, 3.0]]])
+
+
+class TestOrdering:
+    def test_complete_permutation(self, blobs):
+        result = optics(blobs, min_pts=5)
+        assert sorted(result.ordering) == list(range(len(blobs)))
+
+    def test_core_distance_is_min_pts_distance(self, blobs):
+        """The Section 8 handshake: OPTICS's core distances (eps
+        unbounded) are exactly the k-distances LOF materializes, shifted
+        by one because OPTICS counts the point itself among its
+        MinPts neighbors while Definition 3 ranges over D \\ {p}."""
+        from repro import k_distance
+
+        result = optics(blobs, min_pts=5)
+        np.testing.assert_allclose(
+            result.core_distance, k_distance(blobs, k=4), rtol=1e-12
+        )
+
+    def test_clusters_are_contiguous_in_ordering(self, blobs):
+        result = optics(blobs, min_pts=5)
+        positions = np.empty(len(blobs), dtype=int)
+        positions[result.ordering] = np.arange(len(blobs))
+        # Each blob occupies a contiguous run of the ordering (at most
+        # one point of separation for the bridging outlier).
+        a_span = positions[:40].max() - positions[:40].min()
+        b_span = positions[40:80].max() - positions[40:80].min()
+        assert a_span <= 41 and b_span <= 41
+
+    def test_reachability_plot_valleys(self, blobs):
+        result = optics(blobs, min_pts=5)
+        plot = result.reachability_plot()
+        finite = plot[np.isfinite(plot)]
+        # Two dense valleys separated by a high-reachability wall; the
+        # wall is a single jump, so compare the peak to the median.
+        assert finite.max() > 3 * np.median(finite)
+
+    def test_eps_bounded(self, blobs):
+        result = optics(blobs, min_pts=5, eps=0.5)
+        # The bridge point can never be reached within eps.
+        assert np.isinf(result.reachability[80])
+
+    def test_bad_eps(self, blobs):
+        with pytest.raises(ValidationError):
+            optics(blobs, min_pts=5, eps=-1.0)
+
+
+class TestExtraction:
+    def test_dbscan_compatible_extraction(self, blobs):
+        """ExtractDBSCAN recovers DBSCAN's *partition structure*: no
+        extracted cluster spans both blobs, and the bridge point is
+        noise under both. (Labels can fragment: OPTICS's greedy order
+        may pop a fringe core point before its best predecessor — the
+        classic caveat of the plot-threshold extraction.)"""
+        result = optics(blobs, min_pts=5)
+        eps = 0.5
+        labels = result.extract_dbscan(eps)
+        from repro.baselines import dbscan
+
+        direct = dbscan(blobs, eps=eps, min_pts=5)
+        assert labels[80] == -1 and direct[80] == -1
+        blob_of = np.array([0] * 40 + [1] * 40 + [2])
+        for cluster in set(labels) - {-1}:
+            spans = set(blob_of[labels == cluster])
+            assert len(spans) == 1  # never merges the two blobs
+
+    def test_small_eps_extraction_matches_dbscan_noise(self, blobs):
+        # With a generous eps the blobs are single clusters under both.
+        result = optics(blobs, min_pts=5)
+        labels = result.extract_dbscan(1.0)
+        from repro.baselines import dbscan
+
+        direct = dbscan(blobs, eps=1.0, min_pts=5)
+        np.testing.assert_array_equal(labels == -1, direct == -1)
+        assert len(set(labels) - {-1}) == len(set(direct) - {-1}) == 2
+
+    def test_outlier_extraction(self, blobs):
+        result = optics(blobs, min_pts=5)
+        mask = optics_outliers(result, quantile=0.95)
+        assert mask[80]
+
+    def test_bad_quantile(self, blobs):
+        result = optics(blobs, min_pts=5)
+        with pytest.raises(ValidationError):
+            optics_outliers(result, quantile=0.0)

@@ -1,0 +1,59 @@
+"""Distribution-based baselines: z-score and Mahalanobis."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    mahalanobis_outliers,
+    mahalanobis_scores,
+    zscore_outliers,
+    zscore_scores,
+)
+from repro.exceptions import ValidationError
+
+
+class TestZScore:
+    def test_far_point_flagged(self, cluster_and_outlier):
+        assert zscore_outliers(cluster_and_outlier, threshold=3.0)[30]
+
+    def test_constant_dimension_ignored(self):
+        X = np.column_stack([np.random.default_rng(0).normal(size=30), np.ones(30)])
+        scores = zscore_scores(X)
+        assert np.all(np.isfinite(scores))
+
+    def test_max_over_dimensions(self):
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0], [0.0, 10.0]])
+        scores = zscore_scores(X)
+        assert np.argmax(scores) == 3
+
+    def test_misses_local_outliers(self, two_density_clusters):
+        """The paper's Section 2 critique: the o2-style point sits well
+        within the global spread, so no z-threshold finds it without
+        flooding the sparse cluster."""
+        o2 = len(two_density_clusters) - 1
+        scores = zscore_scores(two_density_clusters)
+        assert (scores[:60] > scores[o2]).sum() > 5
+
+
+class TestMahalanobis:
+    def test_far_point_flagged(self, cluster_and_outlier):
+        assert mahalanobis_outliers(cluster_and_outlier, threshold=3.0)[30]
+
+    def test_correlated_data(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=300)
+        X = np.column_stack([x, 2 * x + rng.normal(scale=0.1, size=300)])
+        # A point off the correlation line, inside the marginal ranges.
+        X = np.vstack([X, [[0.0, 3.0]]])
+        scores = mahalanobis_scores(X)
+        assert np.argmax(scores) == 300
+        # The plain z-score misses it entirely.
+        assert zscore_scores(X)[300] < 2.0
+
+    def test_needs_more_samples_than_dims(self):
+        with pytest.raises(ValidationError):
+            mahalanobis_scores(np.eye(3))
+
+    def test_threshold_validated(self, cluster_and_outlier):
+        with pytest.raises(ValidationError):
+            mahalanobis_outliers(cluster_and_outlier, threshold=-1.0)

@@ -1,0 +1,69 @@
+"""The blocked vectorized materialization fast path."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import lof_scores, materialize
+from repro.core import fast_lof_scores, fast_materialize
+from repro.exceptions import ValidationError
+
+
+class TestEquivalence:
+    def test_identical_neighbor_sets(self, random_points):
+        fast = fast_materialize(random_points, 10)
+        standard = materialize(random_points, 10)
+        np.testing.assert_array_equal(fast.padded_ids, standard.padded_ids)
+        # Distances agree to within a few ulps (the blocked kernel uses
+        # the expanded-form BLAS computation).
+        np.testing.assert_allclose(
+            fast.padded_dists, standard.padded_dists, rtol=1e-9
+        )
+
+    def test_lof_identical(self, random_points):
+        np.testing.assert_allclose(
+            fast_lof_scores(random_points, 8),
+            lof_scores(random_points, 8),
+            rtol=1e-15,
+        )
+
+    def test_block_size_irrelevant(self, random_points):
+        for bs in (1, 7, 64, 10_000):
+            mat = fast_materialize(random_points, 6, block_size=bs)
+            np.testing.assert_allclose(
+                mat.lof(6), lof_scores(random_points, 6), rtol=1e-12
+            )
+
+    def test_tie_semantics_preserved(self, tie_ring):
+        mat = fast_materialize(tie_ring, 4)
+        ids, dists = mat.neighborhood_of(0, 4)
+        assert len(ids) == 6
+        np.testing.assert_allclose(dists, [1, 2, 2, 3, 3, 3])
+
+    def test_manhattan_metric(self, random_points):
+        fast = fast_lof_scores(random_points, 5, metric="manhattan")
+        standard = lof_scores(random_points, 5, metric="manhattan")
+        np.testing.assert_allclose(fast, standard, rtol=1e-12)
+
+
+class TestPerformance:
+    def test_faster_than_query_loop(self):
+        X = np.random.default_rng(0).normal(size=(1500, 3))
+        t0 = time.perf_counter()
+        fast_materialize(X, 20)
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        materialize(X, 20)
+        t_loop = time.perf_counter() - t0
+        assert t_fast < t_loop  # typically 10-50x, assert conservatively
+
+
+class TestValidation:
+    def test_bad_block_size(self, random_points):
+        with pytest.raises(ValidationError):
+            fast_materialize(random_points, 5, block_size=0)
+
+    def test_min_pts_bounds(self, random_points):
+        with pytest.raises(ValidationError):
+            fast_materialize(random_points, len(random_points))

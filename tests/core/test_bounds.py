@@ -1,0 +1,127 @@
+"""Section 5: Lemma 1 and Theorems 1-2 checked on concrete data."""
+
+import numpy as np
+import pytest
+
+from repro import MaterializationDB, lof_scores, materialize
+from repro.core import (
+    deep_members,
+    lemma1_epsilon,
+    theorem1_bounds,
+    theorem2_bounds,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def blob_with_outlier():
+    rng = np.random.default_rng(11)
+    blob = rng.normal(size=(80, 2))
+    return np.vstack([blob, [[7.0, 7.0]]])
+
+
+class TestTheorem1:
+    def test_bounds_contain_lof_everywhere(self, blob_with_outlier):
+        X = blob_with_outlier
+        min_pts = 6
+        mat = materialize(X, min_pts)
+        lof = mat.lof(min_pts)
+        for i in range(len(X)):
+            b = theorem1_bounds(mat, i, min_pts)
+            assert b.lof_lower - 1e-9 <= lof[i] <= b.lof_upper + 1e-9
+
+    def test_figure3_interpretation(self):
+        """A point at distance from a tight cluster: LOF between
+        direct_min/indirect_max and direct_max/indirect_min, both >> 1."""
+        rng = np.random.default_rng(0)
+        cluster = rng.normal(scale=0.2, size=(30, 2))
+        X = np.vstack([cluster, [[4.0, 0.0]]])
+        min_pts = 3
+        mat = materialize(X, min_pts)
+        b = theorem1_bounds(mat, 30, min_pts)
+        lof = mat.lof(min_pts)[30]
+        assert b.lof_lower > 3.0          # clearly outlying by the bound alone
+        assert b.lof_lower <= lof <= b.lof_upper
+
+    def test_accepts_raw_data(self, blob_with_outlier):
+        b = theorem1_bounds(blob_with_outlier, 80, 6)
+        lof = lof_scores(blob_with_outlier, 6)[80]
+        assert b.lof_lower - 1e-9 <= lof <= b.lof_upper + 1e-9
+
+    def test_direct_mean_properties(self, blob_with_outlier):
+        b = theorem1_bounds(blob_with_outlier, 0, 6)
+        assert b.direct_min <= b.direct_mean <= b.direct_max
+        assert b.indirect_min <= b.indirect_mean <= b.indirect_max
+
+
+class TestTheorem2:
+    def test_corollary1_single_partition_equals_theorem1(self, blob_with_outlier):
+        X = blob_with_outlier
+        min_pts = 5
+        mat = materialize(X, min_pts)
+        for i in (0, 40, 80):
+            t1 = theorem1_bounds(mat, i, min_pts)
+            t2 = theorem2_bounds(mat, i, min_pts)  # default: one partition
+            assert t2.lof_lower == pytest.approx(t1.lof_lower, rel=1e-12)
+            assert t2.lof_upper == pytest.approx(t1.lof_upper, rel=1e-12)
+
+    def test_bounds_hold_for_two_cluster_partition(self):
+        """Figure 6's situation: a point between two clusters of
+        different densities, neighbors split across both."""
+        rng = np.random.default_rng(4)
+        c1 = rng.normal(loc=(0.0, 0.0), scale=0.4, size=(25, 2))
+        c2 = rng.normal(loc=(6.0, 0.0), scale=1.2, size=(25, 2))
+        p = np.array([[3.0, 0.0]])
+        X = np.vstack([c1, c2, p])
+        labels = np.array([0] * 25 + [1] * 25 + [0])
+        min_pts = 6
+        mat = materialize(X, min_pts)
+        hood_ids, _ = mat.neighborhood_of(50, min_pts)
+        partition = {int(q): int(labels[q]) for q in hood_ids}
+        b = theorem2_bounds(mat, 50, min_pts, partition_labels=partition)
+        lof = mat.lof(min_pts)[50]
+        assert b.lof_lower - 1e-9 <= lof <= b.lof_upper + 1e-9
+
+    def test_missing_neighbor_label_rejected(self, blob_with_outlier):
+        mat = materialize(blob_with_outlier, 5)
+        with pytest.raises(ValidationError):
+            theorem2_bounds(mat, 0, 5, partition_labels={0: 0})
+
+
+class TestLemma1:
+    def test_epsilon_and_deep_bounds(self):
+        # A uniform grid cluster: epsilon small, deep members' LOF ~ 1.
+        xs = np.linspace(0, 9, 10)
+        grid = np.array([(x, y) for x in xs for y in xs])
+        rng = np.random.default_rng(2)
+        grid = grid + rng.uniform(-0.05, 0.05, size=grid.shape)
+        X = np.vstack([grid, [[20.0, 20.0]]])
+        cluster_ids = np.arange(100)
+        min_pts = 4
+        eps = lemma1_epsilon(X, cluster_ids, min_pts)
+        deep = deep_members(X, cluster_ids, min_pts)
+        assert len(deep) > 0
+        lof = lof_scores(X, min_pts)
+        lo, hi = 1 / (1 + eps), 1 + eps
+        assert np.all(lof[deep] >= lo - 1e-9)
+        assert np.all(lof[deep] <= hi + 1e-9)
+
+    def test_deep_members_exclude_periphery(self):
+        rng = np.random.default_rng(9)
+        cluster = rng.normal(size=(60, 2))
+        # Drop the extra point right next to a cluster member: it joins
+        # nearby neighborhoods, which disqualifies those members (and
+        # their reverse neighbors) from being 'deep' in C.
+        X = np.vstack([cluster, cluster[0] + [0.05, 0.0]])
+        deep = deep_members(X, np.arange(60), 5)
+        assert 60 not in deep
+        assert 0 < len(deep) < 60
+
+    def test_duplicate_cluster_rejected(self):
+        X = np.vstack([np.zeros((5, 2)), [[1.0, 1.0], [2.0, 2.0]]])
+        with pytest.raises(ValidationError):
+            lemma1_epsilon(X, [0, 1, 2], 2)
+
+    def test_tiny_cluster_rejected(self, line4):
+        with pytest.raises(ValidationError):
+            lemma1_epsilon(line4, [0], 2)

@@ -1,0 +1,68 @@
+"""Duplicate handling and the k-distinct-distance."""
+
+import numpy as np
+import pytest
+
+from repro.core import duplicate_groups, has_min_pts_duplicates, k_distinct_distance
+from repro.exceptions import ValidationError
+
+
+class TestDuplicateGroups:
+    def test_groups_and_counts(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 0.0], [2.0, 2.0], [0.0, 0.0]])
+        keys, counts = duplicate_groups(X)
+        assert keys[0] == keys[2] == keys[4]
+        assert counts[keys[0]] == 3
+        assert counts.sum() == 5
+
+    def test_all_unique(self, random_points):
+        keys, counts = duplicate_groups(random_points)
+        assert np.all(counts == 1)
+        assert len(np.unique(keys)) == len(random_points)
+
+
+class TestHasMinPtsDuplicates:
+    def test_detects_hazard(self):
+        X = np.vstack([np.zeros((4, 2)), [[1.0, 1.0], [2.0, 2.0]]])
+        # A point with 3 duplicates besides itself: hazard at MinPts <= 3.
+        assert has_min_pts_duplicates(X, min_pts=3)
+        assert not has_min_pts_duplicates(X, min_pts=4)
+
+    def test_clean_data(self, random_points):
+        assert not has_min_pts_duplicates(random_points, min_pts=1)
+
+
+class TestKDistinctDistance:
+    def test_skips_duplicate_locations(self):
+        # Three copies at x=1 count as ONE distinct location.
+        X = np.array([[0.0], [1.0], [1.0], [1.0], [5.0]])
+        assert k_distinct_distance(X, 0, k=1) == pytest.approx(1.0)
+        assert k_distinct_distance(X, 0, k=2) == pytest.approx(5.0)
+
+    def test_own_duplicates_do_not_count(self):
+        # Duplicates of the query point are at distance 0: not distinct.
+        X = np.array([[0.0], [0.0], [0.0], [2.0], [3.0]])
+        assert k_distinct_distance(X, 0, k=1) == pytest.approx(2.0)
+        assert k_distinct_distance(X, 0, k=2) == pytest.approx(3.0)
+
+    def test_always_positive(self):
+        X = np.vstack([np.zeros((5, 2)), np.random.default_rng(0).normal(3, 1, (10, 2))])
+        for k in (1, 3, 5):
+            assert k_distinct_distance(X, 0, k=k) > 0
+
+    def test_matches_k_distance_without_duplicates(self, random_points):
+        from repro import k_distance
+
+        for k in (1, 4):
+            assert k_distinct_distance(random_points, 7, k=k) == pytest.approx(
+                k_distance(random_points, k=k, point_index=7)
+            )
+
+    def test_too_few_locations_rejected(self):
+        X = np.array([[0.0], [0.0], [1.0]])
+        with pytest.raises(ValidationError):
+            k_distinct_distance(X, 0, k=2)
+
+    def test_bad_index(self, random_points):
+        with pytest.raises(IndexError):
+            k_distinct_distance(random_points, 999, k=1)

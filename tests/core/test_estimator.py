@@ -1,0 +1,95 @@
+"""The LocalOutlierFactor estimator facade."""
+
+import numpy as np
+import pytest
+
+from repro import LocalOutlierFactor, lof_scores
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestFitAndScores:
+    def test_single_min_pts_matches_functional(self, cluster_and_outlier):
+        est = LocalOutlierFactor(min_pts=5).fit(cluster_and_outlier)
+        np.testing.assert_allclose(
+            est.scores_, lof_scores(cluster_and_outlier, 5), rtol=1e-9
+        )
+        assert est.lof_matrix_.shape == (1, len(cluster_and_outlier))
+
+    def test_range_matches_max(self, cluster_and_outlier):
+        est = LocalOutlierFactor(min_pts=(3, 8)).fit(cluster_and_outlier)
+        assert est.lof_matrix_.shape == (6, len(cluster_and_outlier))
+        np.testing.assert_allclose(est.scores_, est.lof_matrix_.max(axis=0))
+
+    def test_mean_aggregate(self, cluster_and_outlier):
+        est = LocalOutlierFactor(min_pts=(3, 8), aggregate="mean").fit(
+            cluster_and_outlier
+        )
+        np.testing.assert_allclose(est.scores_, est.lof_matrix_.mean(axis=0))
+
+    def test_fit_returns_self(self, cluster_and_outlier):
+        est = LocalOutlierFactor(min_pts=5)
+        assert est.fit(cluster_and_outlier) is est
+
+    def test_refit_replaces_state(self, cluster_and_outlier, random_points):
+        est = LocalOutlierFactor(min_pts=5)
+        est.fit(cluster_and_outlier)
+        est.fit(random_points)
+        assert est.scores_.shape == (len(random_points),)
+
+
+class TestPredictAndRank:
+    def test_predict_labels(self, cluster_and_outlier):
+        est = LocalOutlierFactor(min_pts=5, threshold=2.0).fit(cluster_and_outlier)
+        labels = est.predict()
+        assert labels[30] == -1
+        assert (labels == -1).sum() <= 3
+
+    def test_fit_predict(self, cluster_and_outlier):
+        labels = LocalOutlierFactor(min_pts=5, threshold=2.0).fit_predict(
+            cluster_and_outlier
+        )
+        assert set(labels) <= {-1, 1}
+
+    def test_rank_top(self, cluster_and_outlier):
+        est = LocalOutlierFactor(min_pts=5).fit(cluster_and_outlier)
+        ranking = est.rank(top_n=1)
+        assert ranking[0].index == 30
+
+    def test_lof_profile(self, cluster_and_outlier):
+        est = LocalOutlierFactor(min_pts=(3, 8)).fit(cluster_and_outlier)
+        ks, curve = est.lof_profile(30)
+        assert len(ks) == len(curve) == 6
+
+
+class TestErrors:
+    def test_unfitted_access(self):
+        with pytest.raises(NotFittedError):
+            LocalOutlierFactor(min_pts=5).scores_
+
+    def test_unfitted_predict(self):
+        with pytest.raises(NotFittedError):
+            LocalOutlierFactor(min_pts=5).predict()
+
+    def test_bad_min_pts_shape(self, cluster_and_outlier):
+        with pytest.raises(ValidationError):
+            LocalOutlierFactor(min_pts=(1, 2, 3)).fit(cluster_and_outlier)
+
+    def test_range_too_large(self, cluster_and_outlier):
+        with pytest.raises(ValidationError):
+            LocalOutlierFactor(min_pts=(5, 100)).fit(cluster_and_outlier)
+
+    def test_bad_index_name(self, cluster_and_outlier):
+        with pytest.raises(ValidationError):
+            LocalOutlierFactor(min_pts=5, index="no-such-index").fit(
+                cluster_and_outlier
+            )
+
+
+class TestIndexChoices:
+    @pytest.mark.parametrize("index_name", ["brute", "kdtree", "grid"])
+    def test_index_agnostic(self, cluster_and_outlier, index_name):
+        base = LocalOutlierFactor(min_pts=5, index="brute").fit(cluster_and_outlier)
+        other = LocalOutlierFactor(min_pts=5, index=index_name).fit(
+            cluster_and_outlier
+        )
+        np.testing.assert_allclose(other.scores_, base.scores_, rtol=1e-9)

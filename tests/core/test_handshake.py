@@ -1,0 +1,64 @@
+"""The LOF <-> OPTICS shared-computation handshake."""
+
+import numpy as np
+import pytest
+
+from repro import lof_scores
+from repro.baselines import dbscan, optics
+from repro.core import lof_optics_handshake
+
+
+@pytest.fixture(scope="module")
+def two_blobs_bridge():
+    rng = np.random.default_rng(9)
+    a = rng.normal(loc=(0, 0), scale=0.4, size=(50, 2))
+    b = rng.normal(loc=(8, 0), scale=0.4, size=(50, 2))
+    bridge = np.array([[4.0, 2.0]])
+    return np.vstack([a, b, bridge])
+
+
+@pytest.fixture(scope="module")
+def handshake(two_blobs_bridge):
+    return lof_optics_handshake(two_blobs_bridge, min_pts=6)
+
+
+class TestSharedComputation:
+    def test_lof_identical_to_standalone(self, two_blobs_bridge, handshake):
+        np.testing.assert_allclose(
+            handshake.lof, lof_scores(two_blobs_bridge, 6), rtol=1e-12
+        )
+
+    def test_optics_identical_to_standalone(self, two_blobs_bridge, handshake):
+        ref = optics(two_blobs_bridge, min_pts=6)
+        np.testing.assert_allclose(handshake.core_distance, ref.core_distance)
+        np.testing.assert_allclose(handshake.reachability, ref.reachability)
+        np.testing.assert_array_equal(handshake.ordering, ref.ordering)
+
+    def test_one_knn_query_per_object(self, two_blobs_bridge, handshake):
+        assert handshake.knn_queries == len(two_blobs_bridge)
+
+    def test_ordering_is_permutation(self, two_blobs_bridge, handshake):
+        assert sorted(handshake.ordering) == list(range(len(two_blobs_bridge)))
+
+
+class TestCombinedOutput:
+    def test_clusters_at_threshold(self, two_blobs_bridge, handshake):
+        labels = handshake.clusters_at(1.0)
+        ref = dbscan(two_blobs_bridge, eps=1.0, min_pts=6)
+        # Same noise verdicts (generous eps: no border ambiguity here).
+        np.testing.assert_array_equal(labels == -1, ref == -1)
+
+    def test_outlier_context(self, two_blobs_bridge, handshake):
+        """The paper's envisioned output: each local outlier annotated
+        with the cluster relative to which it is outlying."""
+        context = handshake.outliers_with_context(eps=1.0, lof_threshold=1.5)
+        assert 100 in context                     # the bridge point
+        info = context[100]
+        assert info["lof"] > 1.5
+        labels = handshake.clusters_at(1.0)
+        assert info["relative_to_cluster"] in set(labels) - {-1}
+
+    def test_context_for_all_strong_outliers(self, two_blobs_bridge, handshake):
+        context = handshake.outliers_with_context(eps=1.0, lof_threshold=1.5)
+        strong = set(np.flatnonzero(handshake.lof > 1.5))
+        assert set(context) == strong

@@ -1,0 +1,96 @@
+"""Definition 7: hand-computed LOF values and basic behavior."""
+
+import numpy as np
+import pytest
+
+from repro import lof_scores
+from repro.exceptions import ValidationError
+
+
+class TestHandComputedLine:
+    """Points 0, 1, 2, 10 on a line, MinPts = 2.
+
+    k-distances: [2, 1, 2, 9].
+    Neighborhoods: N(p0)={p1,p2}, N(p1)={p0,p2}, N(p2)={p1,p0},
+    N(p3)={p2,p1}.
+    lrd: [2/3, 1/2, 2/3, 2/17].
+    LOF: [7/8, 4/3, 7/8, 119/24].
+    """
+
+    def test_exact_values(self, line4):
+        scores = lof_scores(line4, min_pts=2)
+        expected = np.array([7 / 8, 4 / 3, 7 / 8, 119 / 24])
+        np.testing.assert_allclose(scores, expected, rtol=1e-12)
+
+    def test_far_point_is_strongest(self, line4):
+        scores = lof_scores(line4, min_pts=2)
+        assert np.argmax(scores) == 3
+
+    def test_independent_of_input_order(self, line4):
+        perm = np.array([3, 1, 0, 2])
+        scores = lof_scores(line4[perm], min_pts=2)
+        expected = np.array([7 / 8, 4 / 3, 7 / 8, 119 / 24])[perm]
+        np.testing.assert_allclose(scores, expected, rtol=1e-12)
+
+
+class TestClusterBehavior:
+    def test_outlier_scores_high(self, cluster_and_outlier):
+        scores = lof_scores(cluster_and_outlier, min_pts=5)
+        assert scores[30] > 3.0
+        assert np.argmax(scores) == 30
+
+    def test_cluster_members_near_one(self, cluster_and_outlier):
+        scores = lof_scores(cluster_and_outlier, min_pts=5)
+        assert np.median(scores[:30]) == pytest.approx(1.0, abs=0.2)
+
+    def test_local_outlier_in_multidensity_data(self, two_density_clusters):
+        # The o2-style point (just outside the dense cluster) must score
+        # clearly above the dense cluster's members even though its
+        # absolute isolation is smaller than the sparse cluster's spacing.
+        scores = lof_scores(two_density_clusters, min_pts=10)
+        o2 = len(two_density_clusters) - 1
+        assert scores[o2] > 2.0
+        assert scores[o2] > scores[60:100].max()
+
+
+class TestScaleAndTranslationInvariance:
+    def test_translation_invariance(self, cluster_and_outlier):
+        base = lof_scores(cluster_and_outlier, min_pts=5)
+        shifted = lof_scores(cluster_and_outlier + 100.0, min_pts=5)
+        np.testing.assert_allclose(base, shifted, rtol=1e-9)
+
+    def test_scale_invariance(self, cluster_and_outlier):
+        # LOF is a ratio of densities, so uniform scaling cancels.
+        base = lof_scores(cluster_and_outlier, min_pts=5)
+        scaled = lof_scores(cluster_and_outlier * 37.5, min_pts=5)
+        np.testing.assert_allclose(base, scaled, rtol=1e-9)
+
+
+class TestValidation:
+    def test_min_pts_too_large(self, line4):
+        with pytest.raises(ValidationError):
+            lof_scores(line4, min_pts=4)
+
+    def test_min_pts_zero(self, line4):
+        with pytest.raises(ValidationError):
+            lof_scores(line4, min_pts=0)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            lof_scores([["a", "b"]], min_pts=1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            lof_scores([[0.0, np.nan], [1.0, 1.0], [2.0, 2.0]], min_pts=1)
+
+    def test_1d_input_accepted(self):
+        scores = lof_scores([0.0, 1.0, 2.0, 10.0], min_pts=2)
+        assert scores.shape == (4,)
+
+
+class TestMinPtsOne:
+    def test_min_pts_one_is_defined(self, line4):
+        # MinPts = 1 is allowed by the definitions (1 <= MinPts <= |D|).
+        scores = lof_scores(line4, min_pts=1)
+        assert np.all(np.isfinite(scores))
+        assert scores.shape == (4,)

@@ -1,0 +1,55 @@
+"""Definition 6: the local reachability density."""
+
+import numpy as np
+import pytest
+
+from repro import local_reachability_density, lof_scores
+
+
+class TestLrdHandValues:
+    def test_line_values(self, line4):
+        lrd = local_reachability_density(line4, min_pts=2)
+        np.testing.assert_allclose(lrd, [2 / 3, 1 / 2, 2 / 3, 2 / 17], rtol=1e-12)
+
+    def test_dense_region_has_higher_lrd(self, two_density_clusters):
+        lrd = local_reachability_density(two_density_clusters, min_pts=5)
+        sparse_mean = lrd[:60].mean()
+        dense_mean = lrd[60:100].mean()
+        assert dense_mean > 5 * sparse_mean
+
+
+class TestLrdDuplicates:
+    def test_inf_mode_produces_inf(self):
+        # 6 coincident points: with MinPts=3 every reach-dist is 0.
+        X = np.vstack([np.zeros((6, 2)), [[5.0, 5.0], [5.5, 5.0], [5.0, 5.5], [6.0, 6.0]]])
+        lrd = local_reachability_density(X, min_pts=3, duplicate_mode="inf")
+        assert np.all(np.isinf(lrd[:6]))
+        assert np.all(np.isfinite(lrd[6:]))
+
+    def test_distinct_mode_stays_finite(self):
+        X = np.vstack([np.zeros((6, 2)), [[5.0, 5.0], [5.5, 5.0], [5.0, 5.5], [6.0, 6.0]]])
+        lrd = local_reachability_density(X, min_pts=3, duplicate_mode="distinct")
+        assert np.all(np.isfinite(lrd))
+
+    def test_error_mode_raises(self):
+        from repro.exceptions import DuplicatePointsError
+
+        X = np.vstack([np.zeros((6, 2)), [[5.0, 5.0], [5.5, 5.0], [6.0, 6.0]]])
+        with pytest.raises(DuplicatePointsError):
+            local_reachability_density(X, min_pts=3, duplicate_mode="error")
+
+    def test_lof_with_duplicates_stays_defined(self):
+        # The inf/inf := 1 convention keeps every LOF finite or 1-ish
+        # for the duplicated group itself.
+        X = np.vstack([np.zeros((8, 2)), np.random.default_rng(0).normal(5, 0.5, (20, 2))])
+        scores = lof_scores(X, min_pts=4, duplicate_mode="inf")
+        np.testing.assert_allclose(scores[:8], 1.0)
+
+
+class TestLrdScaling:
+    def test_inverse_scaling_with_distance(self):
+        # Stretching space by c divides lrd by c.
+        X = np.random.default_rng(5).normal(size=(50, 2))
+        base = local_reachability_density(X, min_pts=6)
+        stretched = local_reachability_density(X * 3.0, min_pts=6)
+        np.testing.assert_allclose(stretched, base / 3.0, rtol=1e-9)

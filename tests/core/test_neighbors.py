@@ -1,0 +1,74 @@
+"""Definitions 3 and 4: k-distance and the k-distance neighborhood."""
+
+import numpy as np
+import pytest
+
+from repro import k_distance, k_distance_neighborhood
+from repro.exceptions import ValidationError
+
+
+class TestKDistance:
+    def test_line_values(self, line4):
+        # From p0=0: distances 1, 2, 10 -> 2-distance is 2.
+        assert k_distance(line4, k=2, point_index=0) == pytest.approx(2.0)
+        assert k_distance(line4, k=2, point_index=1) == pytest.approx(1.0)
+        assert k_distance(line4, k=2, point_index=3) == pytest.approx(9.0)
+
+    def test_all_points_vector(self, line4):
+        vec = k_distance(line4, k=2)
+        np.testing.assert_allclose(vec, [2.0, 1.0, 2.0, 9.0])
+
+    def test_k_one_is_nearest_neighbor_distance(self, line4):
+        vec = k_distance(line4, k=1)
+        np.testing.assert_allclose(vec, [1.0, 1.0, 1.0, 8.0])
+
+    def test_monotone_in_k(self, random_points):
+        # More neighbors can only push the boundary outward.
+        k3 = k_distance(random_points, k=3)
+        k7 = k_distance(random_points, k=7)
+        assert np.all(k7 >= k3)
+
+    def test_ties_collapse_k_distance(self, tie_ring):
+        # 2-distance == 3-distance == 2 (two objects at distance 2).
+        assert k_distance(tie_ring, k=2, point_index=0) == pytest.approx(2.0)
+        assert k_distance(tie_ring, k=3, point_index=0) == pytest.approx(2.0)
+        assert k_distance(tie_ring, k=4, point_index=0) == pytest.approx(3.0)
+
+    def test_excludes_self(self):
+        X = np.array([[0.0], [0.5], [2.0]])
+        # Without self-exclusion 1-distance of p0 would be 0.
+        assert k_distance(X, k=1, point_index=0) == pytest.approx(0.5)
+
+
+class TestKDistanceNeighborhood:
+    def test_paper_tie_example(self, tie_ring):
+        # Definition 4's worked example: |N_4(p)| = 6.
+        ids, dists = k_distance_neighborhood(tie_ring, 0, k=4)
+        assert len(ids) == 6
+        np.testing.assert_allclose(dists, [1, 2, 2, 3, 3, 3])
+
+    def test_cardinality_at_least_k(self, random_points):
+        for k in (1, 3, 7):
+            ids, _ = k_distance_neighborhood(random_points, 5, k=k)
+            assert len(ids) >= k
+
+    def test_no_ties_cardinality_exactly_k(self, random_points):
+        # Gaussian data has no exact distance ties.
+        ids, _ = k_distance_neighborhood(random_points, 11, k=6)
+        assert len(ids) == 6
+
+    def test_sorted_by_distance(self, random_points):
+        _, dists = k_distance_neighborhood(random_points, 0, k=9)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_self_not_included(self, tie_ring):
+        ids, _ = k_distance_neighborhood(tie_ring, 0, k=4)
+        assert 0 not in ids
+
+    def test_out_of_range_index(self, line4):
+        with pytest.raises(IndexError):
+            k_distance_neighborhood(line4, 99, k=2)
+
+    def test_invalid_k(self, line4):
+        with pytest.raises(ValidationError):
+            k_distance_neighborhood(line4, 0, k=0)

@@ -1,0 +1,97 @@
+"""Section 6.2: LOF over a MinPts range, aggregation heuristics."""
+
+import numpy as np
+import pytest
+
+from repro import MaterializationDB, lof_range, lof_scores, suggest_min_pts_range
+from repro.core.range_lof import RangeLOFResult
+from repro.exceptions import ValidationError
+
+
+class TestLofRange:
+    def test_matrix_rows_match_single_minpts(self, cluster_and_outlier):
+        res = lof_range(cluster_and_outlier, 3, 8)
+        for row, k in enumerate(res.min_pts_values):
+            np.testing.assert_allclose(
+                res.lof_matrix[row], lof_scores(cluster_and_outlier, int(k)), rtol=1e-9
+            )
+
+    def test_max_aggregate_default(self, cluster_and_outlier):
+        res = lof_range(cluster_and_outlier, 3, 8)
+        np.testing.assert_allclose(res.scores, res.lof_matrix.max(axis=0))
+        assert res.aggregate == "max"
+
+    def test_reaggregation(self, cluster_and_outlier):
+        res = lof_range(cluster_and_outlier, 3, 8)
+        np.testing.assert_allclose(res.aggregate_as("mean"), res.lof_matrix.mean(axis=0))
+        np.testing.assert_allclose(res.aggregate_as("min"), res.lof_matrix.min(axis=0))
+        np.testing.assert_allclose(
+            res.aggregate_as("median"), np.median(res.lof_matrix, axis=0)
+        )
+
+    def test_aggregate_ordering(self, cluster_and_outlier):
+        # min <= median/mean <= max pointwise, the paper's dilution point.
+        res = lof_range(cluster_and_outlier, 3, 10)
+        assert np.all(res.aggregate_as("min") <= res.aggregate_as("mean") + 1e-12)
+        assert np.all(res.aggregate_as("mean") <= res.scores + 1e-12)
+
+    def test_profile(self, cluster_and_outlier):
+        res = lof_range(cluster_and_outlier, 3, 8)
+        ks, curve = res.profile(30)
+        np.testing.assert_array_equal(ks, np.arange(3, 9))
+        np.testing.assert_allclose(curve, res.lof_matrix[:, 30])
+
+    def test_argmax_min_pts(self, cluster_and_outlier):
+        res = lof_range(cluster_and_outlier, 3, 8)
+        peaks = res.argmax_min_pts()
+        assert peaks.shape == (len(cluster_and_outlier),)
+        assert np.all((peaks >= 3) & (peaks <= 8))
+
+    def test_prebuilt_materialization(self, cluster_and_outlier):
+        mat = MaterializationDB.materialize(cluster_and_outlier, 10)
+        res = lof_range(materialization=mat, min_pts_lb=3, min_pts_ub=10)
+        np.testing.assert_allclose(
+            res.lof_matrix[0], lof_scores(cluster_and_outlier, 3), rtol=1e-9
+        )
+
+    def test_materialization_too_small_rejected(self, cluster_and_outlier):
+        mat = MaterializationDB.materialize(cluster_and_outlier, 5)
+        with pytest.raises(ValidationError):
+            lof_range(materialization=mat, min_pts_lb=3, min_pts_ub=10)
+
+    def test_requires_data_or_materialization(self):
+        with pytest.raises(ValidationError):
+            lof_range(min_pts_lb=3, min_pts_ub=5)
+
+    def test_bad_aggregate(self, cluster_and_outlier):
+        with pytest.raises(ValidationError):
+            lof_range(cluster_and_outlier, 3, 5, aggregate="geometric")
+
+    def test_outlier_wins_under_max(self, cluster_and_outlier):
+        res = lof_range(cluster_and_outlier, 3, 10)
+        assert int(np.argmax(res.scores)) == 30
+
+
+class TestSuggestRange:
+    def test_defaults(self):
+        lb, ub = suggest_min_pts_range(1000)
+        assert lb == 10
+        assert ub == 50
+
+    def test_small_dataset_clipped(self):
+        lb, ub = suggest_min_pts_range(15)
+        assert lb <= 14 and ub <= 14
+
+    def test_custom_cluster_sizes(self):
+        lb, ub = suggest_min_pts_range(
+            1000, smallest_outlier_cluster=20, largest_outlier_group=35
+        )
+        assert (lb, ub) == (20, 35)
+
+    def test_lower_bound_floored_at_10(self):
+        lb, _ = suggest_min_pts_range(1000, smallest_outlier_cluster=3)
+        assert lb == 10
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            suggest_min_pts_range(2)

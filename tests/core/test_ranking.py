@@ -1,0 +1,58 @@
+"""Ranking utilities."""
+
+import numpy as np
+import pytest
+
+from repro import rank_outliers
+from repro.exceptions import ValidationError
+
+
+class TestRankOutliers:
+    def test_descending_order(self):
+        ranking = rank_outliers([1.0, 3.0, 2.0])
+        assert [e.index for e in ranking] == [1, 2, 0]
+        assert [e.rank for e in ranking] == [1, 2, 3]
+
+    def test_ties_broken_by_index(self):
+        ranking = rank_outliers([2.0, 2.0, 2.0])
+        assert [e.index for e in ranking] == [0, 1, 2]
+
+    def test_top_n(self):
+        ranking = rank_outliers([5.0, 1.0, 4.0, 3.0], top_n=2)
+        assert [e.index for e in ranking] == [0, 2]
+
+    def test_threshold(self):
+        # The paper's Table 3 style: only LOF > 1.5.
+        ranking = rank_outliers([1.87, 1.0, 1.55, 1.5], threshold=1.5)
+        assert [e.index for e in ranking] == [0, 2]
+
+    def test_threshold_strict(self):
+        ranking = rank_outliers([1.5, 1.500001], threshold=1.5)
+        assert [e.index for e in ranking] == [1]
+
+    def test_labels_carried(self):
+        ranking = rank_outliers([1.0, 2.0], labels=["a", "b"])
+        assert ranking[0].label == "b"
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            rank_outliers([1.0, 2.0], labels=["only-one"])
+
+    def test_table_rendering(self):
+        table = rank_outliers([2.4, 2.0], labels=["Konstantinov", "Barnaby"]).to_table()
+        assert "Konstantinov" in table
+        assert table.splitlines()[2].strip().startswith("1")
+
+    def test_accessors(self):
+        ranking = rank_outliers([1.0, 3.0, 2.0])
+        np.testing.assert_array_equal(ranking.indices, [1, 2, 0])
+        np.testing.assert_allclose(ranking.scores, [3.0, 2.0, 1.0])
+        assert len(ranking) == 3
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValidationError):
+            rank_outliers([])
+
+    def test_bad_top_n(self):
+        with pytest.raises(ValidationError):
+            rank_outliers([1.0], top_n=0)

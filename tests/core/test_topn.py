@@ -1,0 +1,83 @@
+"""Bound-pruned top-n LOF mining."""
+
+import numpy as np
+import pytest
+
+from repro import lof_scores, materialize
+from repro.core import top_n_lof
+from repro.exceptions import ValidationError
+
+
+def full_top_n(X, n, min_pts):
+    scores = lof_scores(X, min_pts)
+    order = np.lexsort((np.arange(len(scores)), -scores))[:n]
+    return order, scores[order]
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    rng = np.random.default_rng(1)
+    return np.vstack(
+        [
+            rng.normal(size=(250, 2)),
+            rng.normal(loc=(8, 0), scale=0.3, size=(100, 2)),
+            rng.uniform(-8, 16, size=(15, 2)),
+        ]
+    )
+
+
+class TestExactness:
+    @pytest.mark.parametrize("n", [1, 5, 20])
+    def test_matches_full_ranking(self, mixed, n):
+        res = top_n_lof(mixed, n_outliers=n, min_pts=12)
+        ids, scores = full_top_n(mixed, n, 12)
+        np.testing.assert_array_equal(res.ids, ids)
+        np.testing.assert_allclose(res.scores, scores, rtol=1e-12)
+
+    def test_prebuilt_materialization(self, mixed):
+        mat = materialize(mixed, 12)
+        res = top_n_lof(materialization=mat, n_outliers=5, min_pts=12)
+        ids, _ = full_top_n(mixed, 5, 12)
+        np.testing.assert_array_equal(res.ids, ids)
+
+    def test_n_exceeding_dataset(self, line4):
+        res = top_n_lof(line4, n_outliers=100, min_pts=2)
+        assert len(res.ids) == 4
+
+    def test_with_duplicates(self):
+        # Infinite-lrd territory: bounds degrade gracefully, result exact.
+        X = np.vstack(
+            [np.zeros((6, 2)), np.random.default_rng(0).normal(4, 1, (30, 2))]
+        )
+        res = top_n_lof(X, n_outliers=3, min_pts=4)
+        ids, scores = full_top_n(X, 3, 4)
+        np.testing.assert_array_equal(res.ids, ids)
+
+    def test_tied_scores_resolve_by_id(self):
+        # A symmetric configuration with equal LOF values.
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [5.0, 5.0]])
+        res = top_n_lof(X, n_outliers=3, min_pts=2)
+        ids, _ = full_top_n(X, 3, 2)
+        np.testing.assert_array_equal(res.ids, ids)
+
+
+class TestPruning:
+    def test_prunes_substantially(self, mixed):
+        res = top_n_lof(mixed, n_outliers=5, min_pts=12)
+        assert res.prune_fraction > 0.5
+        assert res.exact_evaluations + res.pruned == len(mixed)
+
+    def test_larger_n_prunes_less(self, mixed):
+        small = top_n_lof(mixed, n_outliers=2, min_pts=12)
+        large = top_n_lof(mixed, n_outliers=50, min_pts=12)
+        assert large.exact_evaluations >= small.exact_evaluations
+
+
+class TestValidation:
+    def test_bad_n(self, mixed):
+        with pytest.raises(ValidationError):
+            top_n_lof(mixed, n_outliers=0, min_pts=5)
+
+    def test_needs_data_or_materialization(self):
+        with pytest.raises(ValidationError):
+            top_n_lof(n_outliers=5, min_pts=5)

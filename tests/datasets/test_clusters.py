@@ -1,0 +1,69 @@
+"""Primitive generators and labeled assembly."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LabeledDataset, assemble, gaussian_cluster, uniform_cluster
+from repro.exceptions import ValidationError
+
+
+class TestGaussianCluster:
+    def test_shape_and_center(self):
+        pts = gaussian_cluster(500, center=(3.0, -1.0), std=0.5, seed=0)
+        assert pts.shape == (500, 2)
+        np.testing.assert_allclose(pts.mean(axis=0), [3.0, -1.0], atol=0.1)
+
+    def test_deterministic(self):
+        a = gaussian_cluster(10, center=(0.0,), seed=5)
+        b = gaussian_cluster(10, center=(0.0,), seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            gaussian_cluster(0, center=(0.0,))
+        with pytest.raises(ValidationError):
+            gaussian_cluster(5, center=(0.0,), std=0.0)
+
+
+class TestUniformCluster:
+    def test_bounds_respected(self):
+        pts = uniform_cluster(200, low=(0.0, 5.0), high=(1.0, 6.0), seed=1)
+        assert np.all(pts[:, 0] >= 0.0) and np.all(pts[:, 0] <= 1.0)
+        assert np.all(pts[:, 1] >= 5.0) and np.all(pts[:, 1] <= 6.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            uniform_cluster(5, low=(0.0,), high=(1.0, 2.0))
+
+    def test_inverted_bounds(self):
+        with pytest.raises(ValidationError):
+            uniform_cluster(5, low=(1.0,), high=(0.0,))
+
+
+class TestAssemble:
+    def test_labels_and_names(self):
+        ds = assemble([("a", np.zeros((3, 2))), ("b", np.ones((2, 2)))])
+        assert ds.n == 5
+        assert ds.label_names == ("a", "b")
+        np.testing.assert_array_equal(ds.labels, [0, 0, 0, 1, 1])
+        np.testing.assert_array_equal(ds.members("b"), [3, 4])
+
+    def test_repeated_names_share_label(self):
+        ds = assemble([("a", np.zeros((2, 1))), ("b", np.ones((1, 1))), ("a", np.zeros((1, 1)))])
+        assert ds.label_names == ("a", "b")
+        np.testing.assert_array_equal(ds.members("a"), [0, 1, 3])
+
+    def test_shuffle_preserves_membership(self):
+        parts = [("a", np.zeros((5, 1))), ("b", np.ones((5, 1)))]
+        ds = assemble(parts, shuffle=True, seed=3)
+        for i in ds.members("b"):
+            assert ds.X[i, 0] == 1.0
+
+    def test_unknown_component(self):
+        ds = assemble([("a", np.zeros((2, 1)))])
+        with pytest.raises(ValidationError):
+            ds.members("zzz")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            assemble([])

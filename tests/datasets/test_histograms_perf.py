@@ -1,0 +1,70 @@
+"""64-d histogram stand-in and the performance datasets."""
+
+import numpy as np
+import pytest
+
+from repro import lof_scores
+from repro.datasets import make_performance_dataset, make_tv_snapshots
+from repro.exceptions import ValidationError
+
+
+class TestTVSnapshots:
+    def test_simplex_geometry(self):
+        ds = make_tv_snapshots(seed=0)
+        np.testing.assert_allclose(ds.X.sum(axis=1), 1.0, rtol=1e-9)
+        assert np.all(ds.X >= 0)
+        assert ds.X.shape[1] == 64
+
+    def test_composition(self):
+        ds = make_tv_snapshots(n_clusters=3, cluster_size=50, n_outliers=4, seed=1)
+        assert ds.n == 3 * 50 + 4
+        assert len(ds.members("outlier")) == 4
+
+    def test_high_dim_outliers_found(self):
+        """The Section 7 claim: clusters exist in 64-d and planted
+        outliers reach LOF values of several (paper: up to ~7)."""
+        ds = make_tv_snapshots(seed=0)
+        scores = lof_scores(ds.X, 20)
+        out = ds.members("outlier")
+        assert scores[out].min() > 2.0
+        assert scores[out].max() < 12.0
+        background = np.delete(scores, out)
+        assert np.median(background) < 1.2
+        top = np.argsort(-scores)[: len(out)]
+        assert set(top) == set(out)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            make_tv_snapshots(n_clusters=0)
+        with pytest.raises(ValidationError):
+            make_tv_snapshots(dim=1)
+
+
+class TestPerformanceDataset:
+    def test_shape(self):
+        X = make_performance_dataset(1000, dim=5, seed=0)
+        assert X.shape == (1000, 5)
+
+    def test_exact_n_despite_rounding(self):
+        for n in (97, 503, 1201):
+            assert make_performance_dataset(n, dim=2, seed=1).shape[0] == n
+
+    def test_clusters_of_different_densities(self):
+        """The paper's recipe: 'Gaussian clusters of different sizes and
+        densities' — nearest-neighbor distances must span a wide range."""
+        from repro import k_distance
+
+        X = make_performance_dataset(2000, dim=2, seed=0)
+        nn = k_distance(X, k=1)
+        assert np.quantile(nn, 0.9) > 3 * np.quantile(nn, 0.1)
+
+    def test_deterministic(self):
+        a = make_performance_dataset(300, dim=3, seed=7)
+        b = make_performance_dataset(300, dim=3, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            make_performance_dataset(5, dim=2, n_clusters=10)
+        with pytest.raises(ValidationError):
+            make_performance_dataset(100, dim=0)

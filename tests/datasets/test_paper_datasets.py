@@ -1,0 +1,113 @@
+"""The figure datasets reproduce the paper's structural claims."""
+
+import numpy as np
+import pytest
+
+from repro import lof_scores
+from repro.datasets import (
+    make_ds1,
+    make_fig8_dataset,
+    make_fig9_dataset,
+    make_gaussian_cloud,
+    make_uniform_square,
+)
+
+
+class TestDS1:
+    def test_composition(self):
+        ds = make_ds1(seed=0)
+        assert ds.n == 502
+        assert len(ds.members("C1")) == 400
+        assert len(ds.members("C2")) == 100
+        assert len(ds.members("o1")) == len(ds.members("o2")) == 1
+
+    def test_c2_denser_than_c1(self):
+        from repro import k_distance
+
+        ds = make_ds1(seed=0)
+        nn = k_distance(ds.X, k=1)
+        assert nn[ds.members("C2")].mean() < 0.2 * nn[ds.members("C1")].mean()
+
+    def test_key_geometry(self):
+        """d(o2, C2) must be smaller than every NN distance within C1 —
+        the premise of the Section 3 impossibility argument."""
+        from repro.index import get_metric
+
+        ds = make_ds1(seed=0)
+        metric = get_metric("euclidean")
+        o2 = ds.X[ds.members("o2")[0]]
+        c1 = ds.X[ds.members("C1")]
+        c2 = ds.X[ds.members("C2")]
+        d_o2_c2 = metric.pairwise_to_point(c2, o2).min()
+        c1_nn = np.array(
+            [np.sort(metric.pairwise_to_point(c1, p))[1] for p in c1]
+        )
+        assert d_o2_c2 < c1_nn.min()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(make_ds1(seed=4).X, make_ds1(seed=4).X)
+
+
+class TestGaussianAndUniform:
+    def test_shapes(self):
+        assert make_gaussian_cloud(200, dim=3, seed=0).shape == (200, 3)
+        assert make_uniform_square(150, seed=0).shape == (150, 2)
+
+    def test_uniform_minpts_guideline(self):
+        """Section 6.2: on uniform data, MinPts >= 10 yields no strong
+        outliers while very small MinPts can."""
+        X = make_uniform_square(1000, seed=0)
+        low = lof_scores(X, 3).max()
+        high = lof_scores(X, 15).max()
+        assert high < low
+        assert high < 1.8
+
+
+class TestFig8:
+    def test_composition(self):
+        ds = make_fig8_dataset(seed=0)
+        assert len(ds.members("S1")) == 10
+        assert len(ds.members("S2")) == 35
+        assert len(ds.members("S3")) == 500
+
+    def test_minpts_onsets(self):
+        """The qualitative onsets of Figure 8: S1 outlying in the
+        10-30 band, S3 never, S1+S2 rising once MinPts reaches ~45+."""
+        from repro.analysis import sweep_min_pts
+
+        ds = make_fig8_dataset(seed=0)
+        sweep = sweep_min_pts(ds.X, 10, 50)
+        ks = sweep.min_pts_values
+
+        def mean_curve(name):
+            return sweep.lof_matrix[:, ds.members(name)].mean(axis=1)
+
+        s1, s2, s3 = mean_curve("S1"), mean_curve("S2"), mean_curve("S3")
+        band = (ks >= 10) & (ks <= 30)
+        assert s1[band].max() > 2.0           # S1 strongly outlying there
+        assert s3.max() < 1.3                  # S3 never outlying
+        assert s2[(ks >= 10) & (ks <= 35)].max() < 1.5  # S2 quiet early
+        assert s1[ks == 50] > 1.4 and s2[ks == 50] > 1.4  # both rise late
+
+
+class TestFig9:
+    def test_planted_outliers_dominate(self):
+        ds = make_fig9_dataset(seed=0)
+        scores = lof_scores(ds.X, 40)
+        assert set(np.argsort(-scores)[:7]) == set(ds.members("outlier"))
+
+    def test_uniform_clusters_flat(self):
+        ds = make_fig9_dataset(seed=0)
+        scores = lof_scores(ds.X, 40)
+        for name in ("uniform_a", "uniform_b"):
+            members = ds.members(name)
+            assert np.median(scores[members]) == pytest.approx(1.0, abs=0.05)
+            assert scores[members].max() < 1.5
+
+    def test_gaussian_fringe_weak_outliers(self):
+        ds = make_fig9_dataset(seed=0)
+        scores = lof_scores(ds.X, 40)
+        planted_min = scores[ds.members("outlier")].min()
+        for name in ("gaussian_sparse", "gaussian_dense"):
+            members = ds.members(name)
+            assert 1.0 < scores[members].max() < planted_min + 0.5

@@ -1,0 +1,87 @@
+"""The Bundesliga 98/99 stand-in (Section 7.3 / Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SOCCER_PLANTED_PLAYERS, load_bundesliga
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def league():
+    return load_bundesliga()
+
+
+class TestStructure:
+    def test_exactly_375_players(self, league):
+        assert league.n == 375
+
+    def test_planted_records(self, league):
+        for name, (games, goals, position) in SOCCER_PLANTED_PLAYERS.items():
+            i = league.index_of(name)
+            assert league.games[i] == games
+            assert league.goals[i] == goals
+            assert league.position[i] == position
+
+    def test_four_positions(self, league):
+        assert set(league.position) == {"Goalie", "Defense", "Center", "Offense"}
+
+    def test_goals_per_game_no_division_by_zero(self, league):
+        gpg = league.goals_per_game
+        assert np.all(np.isfinite(gpg))
+
+    def test_butt_only_scoring_goalie(self, league):
+        goalies = [i for i, p in enumerate(league.position) if p == "Goalie"]
+        scorers = [i for i in goalies if league.goals[i] > 0]
+        assert scorers == [league.index_of("Hans-Jörg Butt")]
+
+    def test_preetz_is_top_scorer(self, league):
+        assert league.goals.max() == league.goals[league.index_of("Michael Preetz")]
+
+    def test_summary_matches_table3_footer(self, league):
+        """Table 3's footer: games median 21, mean 18.0, std 11.0,
+        max 34; goals median 1, mean 1.9, std 3.0, max 23. The stand-in
+        matches within generation tolerance."""
+        s = league.summary()
+        assert s["games"]["max"] == 34
+        assert s["goals"]["max"] == 23
+        assert abs(s["games"]["median"] - 21) <= 4
+        assert abs(s["games"]["mean"] - 18.0) <= 2.0
+        assert abs(s["games"]["std"] - 11.0) <= 2.5
+        assert abs(s["goals"]["median"] - 1.0) <= 1.0
+        assert abs(s["goals"]["mean"] - 1.9) <= 0.8
+        assert abs(s["goals"]["std"] - 3.0) <= 1.0
+
+
+class TestFeatureMatrix:
+    def test_standardized_columns(self, league):
+        X = league.feature_matrix(standardize=True)
+        np.testing.assert_allclose(X.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(X.std(axis=0), 1.0, rtol=1e-12)
+
+    def test_raw_matrix(self, league):
+        X = league.feature_matrix(standardize=False)
+        np.testing.assert_array_equal(X[:, 0], league.games)
+
+
+class TestTable3Shape:
+    def test_top5_are_the_planted_players(self, league):
+        from repro.core import lof_range, rank_outliers
+
+        res = lof_range(league.feature_matrix(), 30, 50)
+        ranking = rank_outliers(res.scores, top_n=5, labels=league.names)
+        assert set(ranking.labels) == set(SOCCER_PLANTED_PLAYERS)
+
+    def test_preetz_rank_one(self, league):
+        from repro.core import lof_range, rank_outliers
+
+        res = lof_range(league.feature_matrix(), 30, 50)
+        ranking = rank_outliers(res.scores, top_n=1, labels=league.names)
+        assert ranking[0].label == "Michael Preetz"
+
+    def test_all_five_above_threshold(self, league):
+        from repro.core import lof_range
+
+        res = lof_range(league.feature_matrix(), 30, 50)
+        for name in SOCCER_PLANTED_PLAYERS:
+            assert res.scores[league.index_of(name)] > 1.5

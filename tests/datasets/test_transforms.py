@@ -1,0 +1,69 @@
+"""Feature-scaling transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import min_max_scale, standardize
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    return rng.normal(loc=(5.0, -3.0, 100.0), scale=(2.0, 0.5, 30.0), size=(200, 3))
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self, data):
+        t = standardize(data)
+        Z = t.transform(data)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, rtol=1e-12)
+
+    def test_inverse_roundtrip(self, data):
+        t = standardize(data)
+        np.testing.assert_allclose(t.inverse(t.transform(data)), data, rtol=1e-12)
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.arange(10.0), np.full(10, 7.0)])
+        Z = standardize(X).transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 1], 0.0)
+
+    def test_new_data_uses_fitted_params(self, data):
+        t = standardize(data)
+        other = np.zeros((1, 3))
+        expected = (0.0 - data.mean(axis=0)) / data.std(axis=0)
+        np.testing.assert_allclose(t.transform(other)[0], expected)
+
+    def test_column_mismatch(self, data):
+        t = standardize(data)
+        with pytest.raises(ValidationError):
+            t.transform(np.zeros((5, 2)))
+
+
+class TestMinMax:
+    def test_unit_interval(self, data):
+        Z = min_max_scale(data).transform(data)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, rtol=1e-12)
+
+    def test_inverse_roundtrip(self, data):
+        t = min_max_scale(data)
+        np.testing.assert_allclose(t.inverse(t.transform(data)), data, rtol=1e-12)
+
+    def test_lof_ranking_changes_with_scaling(self):
+        """Scaling is part of the model: a dominant-variance column can
+        mask an anomaly that standardization reveals."""
+        from repro import lof_scores
+
+        rng = np.random.default_rng(1)
+        big = rng.normal(scale=100.0, size=(80, 1))
+        small = rng.normal(scale=0.01, size=(80, 1))
+        X = np.hstack([big, small])
+        X[40, 1] = 1.0  # enormous in column-2 units, invisible in raw space
+        raw_rank = int(np.argsort(-lof_scores(X, 10))[0])
+        Z = standardize(X).transform(X)
+        std_rank = int(np.argsort(-lof_scores(Z, 10))[0])
+        assert std_rank == 40
+        assert raw_rank != 40

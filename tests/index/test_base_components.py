@@ -1,0 +1,82 @@
+"""Unit tests for the index-layer building blocks: KBestHeap,
+QueryStats, Neighborhood."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.index.base import KBestHeap, Neighborhood, QueryStats
+
+
+class TestKBestHeap:
+    def test_keeps_k_smallest(self):
+        heap = KBestHeap(3)
+        for dist, pid in [(5.0, 0), (1.0, 1), (4.0, 2), (2.0, 3), (3.0, 4)]:
+            heap.consider(dist, pid)
+        ids, dists = heap.result()
+        assert sorted(dists) == [1.0, 2.0, 3.0]
+        assert set(ids) == {1, 3, 4}
+
+    def test_tie_prefers_smaller_id(self):
+        heap = KBestHeap(1)
+        heap.consider(1.0, 7)
+        heap.consider(1.0, 3)   # same distance, smaller id: must win
+        ids, _ = heap.result()
+        assert list(ids) == [3]
+
+    def test_tie_eviction_order_independent(self):
+        for order in ([(1.0, 7), (1.0, 3)], [(1.0, 3), (1.0, 7)]):
+            heap = KBestHeap(1)
+            for dist, pid in order:
+                heap.consider(dist, pid)
+            assert heap.result()[0][0] == 3
+
+    def test_worst_distance_semantics(self):
+        heap = KBestHeap(2)
+        assert heap.worst_distance == np.inf
+        heap.consider(3.0, 0)
+        assert heap.worst_distance == np.inf  # not yet full
+        heap.consider(1.0, 1)
+        assert heap.worst_distance == 3.0
+        heap.consider(2.0, 2)
+        assert heap.worst_distance == 2.0
+
+    def test_full_flag(self):
+        heap = KBestHeap(2)
+        assert not heap.full
+        heap.consider(1.0, 0)
+        heap.consider(2.0, 1)
+        assert heap.full
+
+    def test_consider_many(self):
+        heap = KBestHeap(2)
+        heap.consider_many([3.0, 1.0, 2.0], [10, 11, 12])
+        ids, dists = heap.result()
+        assert set(ids) == {11, 12}
+
+
+class TestQueryStats:
+    def test_reset(self):
+        stats = QueryStats(distance_evaluations=5, nodes_visited=3, queries=1)
+        stats.reset()
+        assert (stats.distance_evaluations, stats.nodes_visited, stats.queries) == (0, 0, 0)
+
+    def test_merge(self):
+        a = QueryStats(1, 2, 3)
+        b = QueryStats(10, 20, 30)
+        a.merge(b)
+        assert (a.distance_evaluations, a.nodes_visited, a.queries) == (11, 22, 33)
+
+
+class TestNeighborhood:
+    def test_len_and_k_distance(self):
+        hood = Neighborhood(
+            ids=np.array([4, 7]), distances=np.array([0.5, 1.5])
+        )
+        assert len(hood) == 2
+        assert hood.k_distance == 1.5
+
+    def test_empty_k_distance_raises(self):
+        hood = Neighborhood(ids=np.empty(0, dtype=int), distances=np.empty(0))
+        with pytest.raises(ValidationError):
+            hood.k_distance

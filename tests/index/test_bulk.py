@@ -1,0 +1,62 @@
+"""STR bulk loading (agreement with brute is covered by the shared
+equivalence suite)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.index import BulkRTreeIndex, RStarTreeIndex, make_index
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(8)
+    return rng.uniform(0, 100, size=(500, 2))
+
+
+class TestConstruction:
+    def test_no_points_lost(self, points):
+        idx = BulkRTreeIndex(max_entries=8).fit(points)
+        np.testing.assert_array_equal(idx.leaf_point_ids(), np.arange(len(points)))
+
+    def test_containment_invariants(self, points):
+        BulkRTreeIndex(max_entries=8).fit(points).check_invariants()
+
+    def test_packs_tighter_than_insertion(self, points):
+        bulk = BulkRTreeIndex(max_entries=8).fit(points)
+        dynamic = RStarTreeIndex(max_entries=8).fit(points)
+        assert bulk.node_count() <= dynamic.node_count()
+
+    def test_three_dimensional(self):
+        X = np.random.default_rng(9).normal(size=(300, 3))
+        idx = BulkRTreeIndex(max_entries=8).fit(X)
+        np.testing.assert_array_equal(idx.leaf_point_ids(), np.arange(300))
+        brute = make_index("brute").fit(X)
+        for i in (0, 150, 299):
+            a = brute.query(X[i], 6, exclude=i)
+            b = idx.query(X[i], 6, exclude=i)
+            np.testing.assert_array_equal(b.ids, a.ids)
+
+    def test_tiny_dataset(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        idx = BulkRTreeIndex().fit(X)
+        assert idx.query(X[0], 1, exclude=0).ids[0] == 1
+
+
+class TestQueryCost:
+    def test_prunes_at_least_as_well_as_dynamic(self, points):
+        bulk = BulkRTreeIndex(max_entries=8).fit(points)
+        dynamic = RStarTreeIndex(max_entries=8).fit(points)
+        for idx in (bulk, dynamic):
+            idx.stats.reset()
+            for i in range(50):
+                idx.query(points[i], 10, exclude=i)
+        assert (
+            bulk.stats.distance_evaluations
+            <= 1.5 * dynamic.stats.distance_evaluations
+        )
+
+    def test_static_insert_refused(self, points):
+        idx = BulkRTreeIndex().fit(points)
+        with pytest.raises(ValidationError):
+            idx._insert_point(0)

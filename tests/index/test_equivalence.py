@@ -1,0 +1,128 @@
+"""Every index must agree exactly with the brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.index import available_indexes, make_index
+
+NON_BRUTE = [n for n in available_indexes() if n != "brute"]
+
+
+@pytest.fixture(scope="module")
+def oracle_data():
+    rng = np.random.default_rng(99)
+    # Mixture: two clusters + uniform noise + an exact-duplicate pair,
+    # to exercise tie handling.
+    X = np.vstack(
+        [
+            rng.normal(loc=0.0, scale=1.0, size=(60, 3)),
+            rng.normal(loc=(5.0, 5.0, 5.0), scale=0.3, size=(40, 3)),
+            rng.uniform(-3, 8, size=(30, 3)),
+        ]
+    )
+    X = np.vstack([X, X[0]])  # duplicate of point 0
+    return X
+
+
+@pytest.fixture(scope="module")
+def brute(oracle_data):
+    return make_index("brute").fit(oracle_data)
+
+
+@pytest.mark.parametrize("name", NON_BRUTE)
+class TestAgainstOracle:
+    def test_knn_queries(self, oracle_data, brute, name):
+        idx = make_index(name).fit(oracle_data)
+        for i in (0, 17, 59, 61, 130):
+            for k in (1, 5, 12):
+                a = brute.query(oracle_data[i], k, exclude=i)
+                b = idx.query(oracle_data[i], k, exclude=i)
+                np.testing.assert_allclose(b.distances, a.distances, rtol=1e-12)
+                # With the duplicate pair, equal-distance ids must match
+                # too, thanks to the deterministic (distance, id) order.
+                np.testing.assert_array_equal(b.ids, a.ids)
+
+    def test_tie_inclusive_queries(self, oracle_data, brute, name):
+        idx = make_index(name).fit(oracle_data)
+        for i in (0, 45, 130):
+            a = brute.query_with_ties(oracle_data[i], 6, exclude=i)
+            b = idx.query_with_ties(oracle_data[i], 6, exclude=i)
+            np.testing.assert_array_equal(b.ids, a.ids)
+
+    def test_radius_queries(self, oracle_data, brute, name):
+        idx = make_index(name).fit(oracle_data)
+        for i in (3, 77):
+            for r in (0.5, 2.0, 10.0):
+                a = brute.query_radius(oracle_data[i], r, exclude=i)
+                b = idx.query_radius(oracle_data[i], r, exclude=i)
+                np.testing.assert_array_equal(b.ids, a.ids)
+
+    def test_external_query_point(self, oracle_data, brute, name):
+        idx = make_index(name).fit(oracle_data)
+        q = np.array([2.0, 2.0, 2.0])
+        a = brute.query(q, 8)
+        b = idx.query(q, 8)
+        np.testing.assert_array_equal(b.ids, a.ids)
+
+    def test_manhattan_metric(self, oracle_data, name):
+        brute_m = make_index("brute", metric="manhattan").fit(oracle_data)
+        idx = make_index(name, metric="manhattan").fit(oracle_data)
+        a = brute_m.query(oracle_data[10], 7, exclude=10)
+        b = idx.query(oracle_data[10], 7, exclude=10)
+        np.testing.assert_array_equal(b.ids, a.ids)
+
+
+@pytest.mark.parametrize("name", sorted(available_indexes()))
+class TestContract:
+    def test_unfitted_raises(self, name):
+        with pytest.raises(NotFittedError):
+            make_index(name).query([0.0], 1)
+
+    def test_k_too_large(self, oracle_data, name):
+        idx = make_index(name).fit(oracle_data)
+        with pytest.raises(ValidationError):
+            idx.query(oracle_data[0], len(oracle_data), exclude=0)
+
+    def test_dimension_mismatch(self, oracle_data, name):
+        idx = make_index(name).fit(oracle_data)
+        with pytest.raises(ValidationError):
+            idx.query([0.0, 0.0], 1)
+
+    def test_negative_radius(self, oracle_data, name):
+        idx = make_index(name).fit(oracle_data)
+        with pytest.raises(ValidationError):
+            idx.query_radius(oracle_data[0], -1.0)
+
+    def test_stats_counted(self, oracle_data, name):
+        idx = make_index(name).fit(oracle_data)
+        idx.stats.reset()
+        idx.query(oracle_data[0], 5, exclude=0)
+        assert idx.stats.queries == 1
+        assert idx.stats.distance_evaluations > 0
+
+    def test_single_feature_data(self, name):
+        X = np.arange(30, dtype=float).reshape(-1, 1)
+        idx = make_index(name).fit(X)
+        got = idx.query(X[10], 2, exclude=10)
+        np.testing.assert_array_equal(np.sort(got.ids), [9, 11])
+
+
+class TestRegistry:
+    def test_available(self):
+        assert {"brute", "grid", "kdtree", "balltree", "rstar", "xtree", "vafile"} <= set(
+            available_indexes()
+        )
+
+    def test_instance_passthrough(self):
+        idx = make_index("brute")
+        assert make_index(idx) is idx
+
+    def test_class_accepted(self):
+        from repro.index import KDTreeIndex
+
+        assert isinstance(make_index(KDTreeIndex), KDTreeIndex)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            make_index("quadtree")

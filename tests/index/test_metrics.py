@@ -1,0 +1,116 @@
+"""Distance metrics: values, axioms, and rectangle bounds."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.index import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    MinkowskiMetric,
+    get_metric,
+)
+
+ALL_METRICS = [
+    EuclideanMetric(),
+    ManhattanMetric(),
+    ChebyshevMetric(),
+    MinkowskiMetric(p=3),
+]
+
+
+class TestValues:
+    def test_euclidean(self):
+        assert EuclideanMetric().distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert ManhattanMetric().distance([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert ChebyshevMetric().distance([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_minkowski_p2_equals_euclidean(self):
+        p = np.array([1.0, 2.0, 3.0])
+        q = np.array([-1.0, 0.5, 9.0])
+        assert MinkowskiMetric(p=2).distance(p, q) == pytest.approx(
+            EuclideanMetric().distance(p, q)
+        )
+
+    def test_minkowski_order_validated(self):
+        with pytest.raises(ValidationError):
+            MinkowskiMetric(p=0.5)
+
+
+class TestAxioms:
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+    def test_identity_symmetry_triangle(self, metric):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(12, 4))
+        for a in pts[:4]:
+            assert metric.distance(a, a) == pytest.approx(0.0)
+        for a, b, c in zip(pts[:4], pts[4:8], pts[8:12]):
+            assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+            assert metric.distance(a, c) <= (
+                metric.distance(a, b) + metric.distance(b, c) + 1e-12
+            )
+
+
+class TestVectorizedAgreement:
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+    def test_pairwise_to_point(self, metric):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(20, 3))
+        q = rng.normal(size=3)
+        batch = metric.pairwise_to_point(X, q)
+        for i in range(len(X)):
+            assert batch[i] == pytest.approx(metric.distance(X[i], q))
+
+    def test_euclidean_full_pairwise(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(15, 3))
+        Y = rng.normal(size=(9, 3))
+        metric = EuclideanMetric()
+        D = metric.pairwise(X, Y)
+        assert D.shape == (15, 9)
+        assert D[3, 4] == pytest.approx(metric.distance(X[3], Y[4]))
+
+
+class TestRectangleBounds:
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+    def test_bounds_bracket_all_rect_points(self, metric):
+        rng = np.random.default_rng(3)
+        lo = np.array([-1.0, 0.0, 2.0])
+        hi = np.array([1.0, 0.5, 5.0])
+        q = np.array([3.0, -2.0, 0.0])
+        dmin = metric.min_distance_to_rect(q, lo, hi)
+        dmax = metric.max_distance_to_rect(q, lo, hi)
+        samples = rng.uniform(lo, hi, size=(200, 3))
+        dists = metric.pairwise_to_point(samples, q)
+        assert np.all(dists >= dmin - 1e-12)
+        assert np.all(dists <= dmax + 1e-12)
+
+    @pytest.mark.parametrize("metric", ALL_METRICS, ids=lambda m: m.name)
+    def test_inside_point_min_zero(self, metric):
+        lo = np.zeros(2)
+        hi = np.ones(2)
+        assert metric.min_distance_to_rect(np.array([0.5, 0.5]), lo, hi) == 0.0
+
+
+class TestRegistry:
+    def test_aliases(self):
+        assert isinstance(get_metric("l2"), EuclideanMetric)
+        assert isinstance(get_metric("cityblock"), ManhattanMetric)
+        assert isinstance(get_metric("linf"), ChebyshevMetric)
+
+    def test_instance_passthrough(self):
+        m = MinkowskiMetric(p=4)
+        assert get_metric(m) is m
+
+    def test_minkowski_string_rejected(self):
+        with pytest.raises(ValidationError):
+            get_metric("minkowski")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            get_metric("hamming")

@@ -1,0 +1,80 @@
+"""M-tree specifics (agreement with brute is covered by the shared
+equivalence suite; here: structure, invariants, metric-only operation,
+and the cached-distance prefilter's savings)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.index import MTreeIndex, make_index
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    rng = np.random.default_rng(15)
+    return np.vstack(
+        [
+            rng.normal(loc=(0, 0), scale=1.0, size=(120, 2)),
+            rng.normal(loc=(12, 0), scale=0.5, size=(120, 2)),
+        ]
+    )
+
+
+class TestStructure:
+    def test_invariants(self, clustered):
+        idx = MTreeIndex(max_entries=8).fit(clustered)
+        idx.check_invariants()
+
+    def test_no_points_lost(self, clustered):
+        idx = MTreeIndex(max_entries=6).fit(clustered)
+        np.testing.assert_array_equal(
+            idx.leaf_point_ids(), np.arange(len(clustered))
+        )
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValidationError):
+            MTreeIndex(max_entries=2)
+
+    def test_small_capacity_correct(self, clustered):
+        idx = MTreeIndex(max_entries=4).fit(clustered)
+        brute = make_index("brute").fit(clustered)
+        for i in (0, 120, 239):
+            a = brute.query(clustered[i], 6, exclude=i)
+            b = idx.query(clustered[i], 6, exclude=i)
+            np.testing.assert_array_equal(b.ids, a.ids)
+
+
+class TestMetricOnly:
+    @pytest.mark.parametrize("metric", ["manhattan", "chebyshev"])
+    def test_non_euclidean_metrics(self, clustered, metric):
+        idx = MTreeIndex(metric=metric).fit(clustered)
+        brute = make_index("brute", metric=metric).fit(clustered)
+        for i in (3, 150):
+            a = brute.query(clustered[i], 5, exclude=i)
+            b = idx.query(clustered[i], 5, exclude=i)
+            np.testing.assert_array_equal(b.ids, a.ids)
+
+    def test_lof_through_mtree(self, clustered):
+        from repro import lof_scores
+
+        base = lof_scores(clustered, 8, index="brute")
+        via_mtree = lof_scores(clustered, 8, index="mtree")
+        np.testing.assert_allclose(via_mtree, base, rtol=1e-9)
+
+
+class TestPruning:
+    def test_beats_scan_on_clustered_data(self, clustered):
+        idx = MTreeIndex(max_entries=8).fit(clustered)
+        idx.stats.reset()
+        for i in range(0, 40):
+            idx.query(clustered[i], 5, exclude=i)
+        per_query = idx.stats.distance_evaluations / 40
+        assert per_query < 0.6 * len(clustered)
+
+    def test_radius_query_prunes_far_cluster(self, clustered):
+        idx = MTreeIndex(max_entries=8).fit(clustered)
+        idx.stats.reset()
+        got = idx.query_radius(clustered[0], 1.0, exclude=0)
+        assert len(got) > 0
+        # Far cluster never touched: fewer evaluations than points.
+        assert idx.stats.distance_evaluations < len(clustered)

@@ -1,0 +1,192 @@
+"""Structure-specific tests for the tree indexes and the VA-file."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.index import (
+    BallTreeIndex,
+    GridIndex,
+    KDTreeIndex,
+    RStarTreeIndex,
+    VAFileIndex,
+    XTreeIndex,
+)
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    rng = np.random.default_rng(5)
+    return np.vstack(
+        [
+            rng.normal(loc=0.0, scale=1.0, size=(100, 2)),
+            rng.normal(loc=(10.0, 0.0), scale=0.5, size=(100, 2)),
+        ]
+    )
+
+
+class TestKDTree:
+    def test_leaf_size_one(self, clustered):
+        idx = KDTreeIndex(leaf_size=1).fit(clustered)
+        got = idx.query(clustered[0], 3, exclude=0)
+        assert len(got) == 3
+
+    def test_identical_points_leaf(self):
+        # All-identical data cannot be split; must still answer queries.
+        X = np.tile([[1.0, 2.0]], (20, 1))
+        idx = KDTreeIndex().fit(X)
+        got = idx.query(X[0], 5, exclude=0)
+        np.testing.assert_allclose(got.distances, 0.0)
+
+    def test_pruning_beats_scan(self, clustered):
+        idx = KDTreeIndex(leaf_size=8).fit(clustered)
+        idx.stats.reset()
+        idx.query(clustered[0], 5, exclude=0)
+        # A well-separated 2-cluster dataset must prune the far cluster.
+        assert idx.stats.distance_evaluations < len(clustered) / 2
+
+
+class TestBallTree:
+    def test_identical_points(self):
+        X = np.tile([[0.0, 0.0]], (10, 1))
+        idx = BallTreeIndex().fit(X)
+        assert len(idx.query(X[0], 3, exclude=0)) == 3
+
+    def test_pruning(self, clustered):
+        idx = BallTreeIndex(leaf_size=8).fit(clustered)
+        idx.stats.reset()
+        idx.query(clustered[0], 5, exclude=0)
+        assert idx.stats.distance_evaluations < len(clustered)
+
+
+class TestGrid:
+    def test_custom_occupancy(self, clustered):
+        idx = GridIndex(points_per_cell=2.0).fit(clustered)
+        got = idx.query(clustered[5], 4, exclude=5)
+        assert len(got) == 4
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(ValidationError):
+            GridIndex(points_per_cell=0.0)
+
+    def test_single_point_dataset(self):
+        idx = GridIndex().fit([[1.0, 1.0]])
+        got = idx.query([0.0, 0.0], 1)
+        assert got.ids[0] == 0
+
+    def test_query_far_outside_lattice(self, clustered):
+        idx = GridIndex().fit(clustered)
+        got = idx.query([100.0, 100.0], 3)
+        assert len(got) == 3
+
+    def test_near_constant_time_queries(self):
+        # Cells visited per query should not grow with n on uniform data.
+        rng = np.random.default_rng(1)
+        visited = []
+        for n in (500, 4000):
+            X = rng.uniform(0, 10, size=(n, 2))
+            idx = GridIndex().fit(X)
+            idx.stats.reset()
+            for i in range(20):
+                idx.query(X[i], 5, exclude=i)
+            visited.append(idx.stats.distance_evaluations / 20)
+        assert visited[1] < visited[0] * 3  # sublinear growth in n
+
+
+class TestRStarTree:
+    def test_invariants_after_build(self, clustered):
+        idx = RStarTreeIndex(max_entries=8).fit(clustered)
+        idx.check_invariants()
+
+    def test_no_points_lost(self, clustered):
+        idx = RStarTreeIndex(max_entries=6).fit(clustered)
+        np.testing.assert_array_equal(idx.leaf_point_ids(), np.arange(len(clustered)))
+
+    def test_small_capacity_still_correct(self, clustered):
+        idx = RStarTreeIndex(max_entries=4).fit(clustered)
+        from repro.index import make_index
+
+        brute = make_index("brute").fit(clustered)
+        for i in (0, 150):
+            a = brute.query(clustered[i], 6, exclude=i)
+            b = idx.query(clustered[i], 6, exclude=i)
+            np.testing.assert_array_equal(b.ids, a.ids)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            RStarTreeIndex(max_entries=2)
+        with pytest.raises(ValidationError):
+            RStarTreeIndex(min_fill=0.9)
+        with pytest.raises(ValidationError):
+            RStarTreeIndex(reinsert_fraction=1.5)
+
+    def test_node_count_grows(self, clustered):
+        small = RStarTreeIndex(max_entries=32).fit(clustered)
+        big = RStarTreeIndex(max_entries=4).fit(clustered)
+        assert big.node_count() > small.node_count()
+
+
+class TestXTree:
+    def test_no_supernodes_in_low_dim(self, clustered):
+        idx = XTreeIndex(max_entries=8).fit(clustered)
+        assert idx.supernode_fraction() <= 0.1
+
+    def test_supernodes_appear_in_high_dim(self):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(size=(300, 16))
+        idx = XTreeIndex(max_entries=8).fit(X)
+        assert idx.supernode_count() > 0
+
+    def test_no_points_lost_despite_supernodes(self):
+        rng = np.random.default_rng(8)
+        X = rng.uniform(size=(200, 12))
+        idx = XTreeIndex(max_entries=8).fit(X)
+        np.testing.assert_array_equal(idx.leaf_point_ids(), np.arange(200))
+
+    def test_correct_in_high_dim(self):
+        rng = np.random.default_rng(9)
+        X = rng.uniform(size=(150, 10))
+        idx = XTreeIndex(max_entries=8).fit(X)
+        from repro.index import make_index
+
+        brute = make_index("brute").fit(X)
+        for i in (0, 50, 149):
+            a = brute.query(X[i], 5, exclude=i)
+            b = idx.query(X[i], 5, exclude=i)
+            np.testing.assert_array_equal(b.ids, a.ids)
+
+    def test_overlap_parameter_validated(self):
+        with pytest.raises(ValidationError):
+            XTreeIndex(max_overlap=0.0)
+
+
+class TestVAFile:
+    def test_bits_validated(self):
+        with pytest.raises(ValidationError):
+            VAFileIndex(bits_per_dim=0)
+        with pytest.raises(ValidationError):
+            VAFileIndex(bits_per_dim=20)
+
+    def test_more_bits_fewer_refinements(self):
+        rng = np.random.default_rng(11)
+        X = rng.uniform(size=(500, 8))
+        evals = []
+        for bits in (2, 8):
+            idx = VAFileIndex(bits_per_dim=bits).fit(X)
+            idx.stats.reset()
+            for i in range(10):
+                idx.query(X[i], 5, exclude=i)
+            evals.append(idx.stats.distance_evaluations)
+        assert evals[1] < evals[0]
+
+    def test_high_dim_correctness(self):
+        rng = np.random.default_rng(12)
+        X = rng.dirichlet(np.ones(32), size=200)  # histogram-like data
+        idx = VAFileIndex().fit(X)
+        from repro.index import make_index
+
+        brute = make_index("brute").fit(X)
+        for i in (0, 100):
+            a = brute.query(X[i], 6, exclude=i)
+            b = idx.query(X[i], 6, exclude=i)
+            np.testing.assert_array_equal(b.ids, a.ids)

@@ -1,0 +1,75 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import load_scores, save_dataset
+
+
+@pytest.fixture
+def dataset_csv(tmp_path, cluster_and_outlier):
+    path = tmp_path / "data.csv"
+    labels = [f"pt{i}" for i in range(len(cluster_and_outlier))]
+    save_dataset(path, cluster_and_outlier, labels=labels)
+    return path
+
+
+class TestScoreCommand:
+    def test_writes_scores(self, dataset_csv, tmp_path, capsys):
+        out = tmp_path / "scores.csv"
+        code = main(
+            ["score", str(dataset_csv), "--out", str(out), "--min-pts", "5"]
+        )
+        assert code == 0
+        scores, labels = load_scores(out)
+        assert len(scores) == 31
+        assert labels[30] == "pt30"
+        assert np.argmax(scores) == 30
+
+    def test_range_min_pts(self, dataset_csv, tmp_path):
+        out = tmp_path / "scores.csv"
+        code = main(
+            ["score", str(dataset_csv), "--out", str(out), "--min-pts", "3", "8"]
+        )
+        assert code == 0
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(
+            ["score", str(tmp_path / "nope.csv"), "--out", str(tmp_path / "o.csv")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRankCommand:
+    def test_prints_table(self, dataset_csv, capsys):
+        code = main(["rank", str(dataset_csv), "--min-pts", "5", "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pt30" in out
+        assert out.splitlines()[2].strip().startswith("1")
+
+    def test_threshold(self, dataset_csv, capsys):
+        code = main(
+            ["rank", str(dataset_csv), "--min-pts", "5", "--threshold", "3.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pt30" in out
+
+    def test_alternate_index(self, dataset_csv, capsys):
+        code = main(["rank", str(dataset_csv), "--min-pts", "5", "--index", "kdtree"])
+        assert code == 0
+
+    def test_bad_index_name(self, dataset_csv, capsys):
+        code = main(["rank", str(dataset_csv), "--min-pts", "5", "--index", "nope"])
+        assert code == 2
+
+
+class TestDemoCommand:
+    def test_runs(self, capsys):
+        code = main(["demo", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "7 of the top" in out

@@ -1,0 +1,70 @@
+"""The materialize/sweep/topn CLI subcommands."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import save_dataset
+
+
+@pytest.fixture
+def dataset_csv(tmp_path, cluster_and_outlier):
+    path = tmp_path / "data.csv"
+    save_dataset(path, cluster_and_outlier)
+    return path
+
+
+class TestTopN:
+    def test_prints_ranking_and_pruning(self, dataset_csv, capsys):
+        code = main(["topn", str(dataset_csv), "--n", "3", "--min-pts", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "object 30" in out
+        assert "pruned by Theorem-1 bounds" in out
+
+    def test_matches_rank_command(self, dataset_csv, capsys):
+        main(["topn", str(dataset_csv), "--n", "1", "--min-pts", "5"])
+        topn_out = capsys.readouterr().out
+        main(["rank", str(dataset_csv), "--min-pts", "5", "--top", "1"])
+        rank_out = capsys.readouterr().out
+        # Both name object 30 with the same score.
+        assert "object 30" in topn_out and "object 30" in rank_out
+
+
+class TestMaterializeSweep:
+    def test_two_step_pipeline(self, dataset_csv, tmp_path, capsys):
+        mat_path = tmp_path / "m.mat"
+        code = main(
+            ["materialize", str(dataset_csv), "--min-pts-ub", "10",
+             "--out", str(mat_path)]
+        )
+        assert code == 0
+        assert mat_path.exists()
+        assert "31 objects" in capsys.readouterr().out
+
+        code = main(["sweep", str(mat_path), "--min-pts", "3", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip() and not l.startswith("MinPts")]
+        assert len(lines) == 8  # MinPts 3..10
+
+    def test_sweep_respects_ub(self, dataset_csv, tmp_path, capsys):
+        mat_path = tmp_path / "m.mat"
+        main(["materialize", str(dataset_csv), "--min-pts-ub", "5",
+              "--out", str(mat_path)])
+        capsys.readouterr()
+        code = main(["sweep", str(mat_path), "--min-pts", "3", "10"])
+        assert code == 2  # exceeds the materialized bound: clean error
+
+    def test_materialize_distinct_mode(self, tmp_path, capsys):
+        X = np.vstack(
+            [np.zeros((4, 2)), np.random.default_rng(0).normal(3, 1, (20, 2))]
+        )
+        data = tmp_path / "dup.csv"
+        save_dataset(data, X)
+        mat_path = tmp_path / "m.mat"
+        code = main(
+            ["materialize", str(data), "--min-pts-ub", "5",
+             "--out", str(mat_path), "--duplicate-mode", "distinct"]
+        )
+        assert code == 0

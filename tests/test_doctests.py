@@ -1,0 +1,25 @@
+"""Run the doctest examples embedded in the public docstrings, so the
+documentation's code snippets are guaranteed to stay executable."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.estimator
+import repro.core.lof
+import repro.core.streaming
+
+MODULES = [
+    repro,
+    repro.core.estimator,
+    repro.core.lof,
+    repro.core.streaming,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert result.failed == 0

@@ -1,0 +1,83 @@
+"""CSV persistence for datasets and score files."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.io import load_dataset, load_scores, save_dataset, save_scores
+
+
+class TestDatasetRoundtrip:
+    def test_plain(self, tmp_path, random_points):
+        path = tmp_path / "data.csv"
+        save_dataset(path, random_points)
+        X, labels = load_dataset(path)
+        np.testing.assert_allclose(X, random_points)
+        assert labels is None
+
+    def test_with_labels(self, tmp_path):
+        path = tmp_path / "data.csv"
+        X = np.array([[1.5, 2.5], [3.0, 4.0]])
+        save_dataset(path, X, labels=["a", "b"])
+        X2, labels = load_dataset(path)
+        np.testing.assert_allclose(X2, X)
+        assert labels == ["a", "b"]
+
+    def test_full_float_precision(self, tmp_path):
+        path = tmp_path / "data.csv"
+        X = np.array([[np.pi, np.e], [1 / 3, 2 / 7]])
+        save_dataset(path, X)
+        X2, _ = load_dataset(path)
+        np.testing.assert_array_equal(X2, X)  # repr() roundtrips exactly
+
+    def test_label_length_mismatch(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_dataset(tmp_path / "x.csv", np.zeros((3, 2)), labels=["a"])
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x0,x1\n1.0\n")
+        with pytest.raises(ValidationError):
+            load_dataset(path)
+
+    def test_non_numeric_cell(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x0\nhello\n")
+        with pytest.raises(ValidationError):
+            load_dataset(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_dataset(path)
+
+
+class TestScoresRoundtrip:
+    def test_plain(self, tmp_path):
+        path = tmp_path / "scores.csv"
+        scores = np.array([1.0, 2.4, 0.9])
+        save_scores(path, scores)
+        got, labels = load_scores(path)
+        np.testing.assert_array_equal(got, scores)
+        assert labels is None
+
+    def test_with_labels(self, tmp_path):
+        path = tmp_path / "scores.csv"
+        save_scores(path, [2.4, 2.0], labels=["Konstantinov", "Barnaby"])
+        got, labels = load_scores(path)
+        assert labels == ["Konstantinov", "Barnaby"]
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_scores(tmp_path / "s.csv", [1.0, 2.0], labels=["x"])
+
+    def test_end_to_end_with_lof(self, tmp_path, cluster_and_outlier):
+        """The paper's step-2 output pattern: write LOFs, rank later
+        without the original data."""
+        from repro import lof_scores, rank_outliers
+
+        path = tmp_path / "lof.csv"
+        save_scores(path, lof_scores(cluster_and_outlier, 5))
+        scores, _ = load_scores(path)
+        assert rank_outliers(scores, top_n=1)[0].index == 30

@@ -1,0 +1,138 @@
+"""The shared validation helpers and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    check_data,
+    check_fraction,
+    check_labels,
+    check_min_pts,
+    check_min_pts_range,
+    check_positive,
+    check_seed,
+)
+from repro.exceptions import (
+    DuplicatePointsError,
+    NotFittedError,
+    ReproError,
+    SpatialIndexError,
+    ValidationError,
+)
+
+
+class TestCheckData:
+    def test_lists_accepted(self):
+        out = check_data([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_1d_promoted(self):
+        assert check_data([1.0, 2.0, 3.0]).shape == (3, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError):
+            check_data(np.zeros((2, 2, 2)))
+
+    def test_min_rows(self):
+        with pytest.raises(ValidationError):
+            check_data([[1.0]], min_rows=2)
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError):
+            check_data([[np.inf, 1.0]])
+
+    def test_strings_rejected(self):
+        with pytest.raises(ValidationError):
+            check_data([["a", "b"]])
+
+
+class TestCheckMinPts:
+    def test_bounds(self):
+        assert check_min_pts(3, 10) == 3
+        with pytest.raises(ValidationError):
+            check_min_pts(0, 10)
+        with pytest.raises(ValidationError):
+            check_min_pts(10, 10)  # needs n-1 others
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            check_min_pts(True, 10)
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_min_pts(3.0, 10)
+
+    def test_range(self):
+        assert check_min_pts_range(2, 5, 10) == (2, 5)
+        with pytest.raises(ValidationError):
+            check_min_pts_range(5, 2, 10)
+
+
+class TestScalarChecks:
+    def test_positive(self):
+        assert check_positive(2.5, name="x") == 2.5
+        for bad in (0, -1, np.inf, "a"):
+            with pytest.raises(ValidationError):
+                check_positive(bad, name="x")
+
+    def test_fraction_exclusive(self):
+        assert check_fraction(0.5, name="f") == 0.5
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ValidationError):
+                check_fraction(bad, name="f")
+
+    def test_fraction_inclusive(self):
+        assert check_fraction(0.0, name="f", inclusive=True) == 0.0
+        assert check_fraction(1.0, name="f", inclusive=True) == 1.0
+
+
+class TestCheckSeed:
+    def test_none_gives_generator(self):
+        assert isinstance(check_seed(None), np.random.Generator)
+
+    def test_int_reproducible(self):
+        a = check_seed(7).normal(size=3)
+        b = check_seed(7).normal(size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_seed(gen) is gen
+
+    def test_bad_seed(self):
+        with pytest.raises(ValidationError):
+            check_seed("not-a-seed")
+
+
+class TestCheckLabels:
+    def test_none_passthrough(self):
+        assert check_labels(None, 5) is None
+
+    def test_length_enforced(self):
+        with pytest.raises(ValidationError):
+            check_labels(["a"], 2)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ValidationError, NotFittedError, DuplicatePointsError, SpatialIndexError):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        # sklearn/numpy-style callers catching ValueError keep working.
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(DuplicatePointsError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_single_except_catches_everything(self, cluster_and_outlier):
+        from repro import lof_scores
+
+        caught = None
+        try:
+            lof_scores(cluster_and_outlier, min_pts=0)
+        except ReproError as exc:
+            caught = exc
+        assert isinstance(caught, ValidationError)

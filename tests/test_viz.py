@@ -1,0 +1,115 @@
+"""Terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.viz import (
+    ascii_heatmap,
+    bar_chart,
+    reachability_bars,
+    scatter,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes_use_ramp_ends(self):
+        line = sparkline([0.0, 1.0], unicode=False)
+        assert line[0] == " " and line[1] == "@"
+
+    def test_custom_bounds(self):
+        # With bounds far above the data everything renders low.
+        line = sparkline([1.0, 2.0], lo=0.0, hi=100.0, unicode=False)
+        assert set(line) <= {" ", "."}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparkline([])
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        out = bar_chart(["a", "bb"], [2.0, 4.0], width=10, unicode=False)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10      # max bar fills the width
+        assert lines[0].count("#") == 5       # half-value bar
+        assert "4.00" in lines[1]
+
+    def test_labels_aligned(self):
+        out = bar_chart(["x", "longer"], [1.0, 1.0], unicode=False)
+        starts = [line.index("#") for line in out.splitlines()]
+        assert starts[0] == starts[1]
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+class TestAsciiHeatmap:
+    def test_dimensions(self):
+        X = np.random.default_rng(0).uniform(size=(100, 2))
+        out = ascii_heatmap(X, np.ones(100), width=30, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(l) == 30 for l in lines)
+
+    def test_empty_cells_blank_occupied_visible(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = ascii_heatmap(X, [1.0, 5.0], width=10, height=5)
+        flat = out.replace("\n", "")
+        assert flat.count(" ") == 48          # two occupied cells
+        assert len(set(flat) - {" "}) >= 1
+
+    def test_hot_cell_uses_denser_glyph(self):
+        X = np.array([[0.0, 0.0], [1.0, 0.0]])
+        out = ascii_heatmap(X, [1.0, 10.0], width=11, height=2)
+        bottom = out.splitlines()[-1]
+        # Rightmost glyph (hot) must rank above the leftmost in the ramp.
+        from repro.viz import _ASCII_RAMP
+
+        left, right = bottom[0], bottom[-1]
+        assert _ASCII_RAMP.index(right) > _ASCII_RAMP.index(left)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValidationError):
+            ascii_heatmap(np.zeros((5, 3)), np.ones(5))
+
+
+class TestReachabilityBars:
+    def test_shape(self):
+        out = reachability_bars([np.inf, 0.5, 0.4, 2.0, np.inf, 0.3], height=6)
+        lines = out.splitlines()
+        assert len(lines) == 6
+        assert all(len(l) == 6 for l in lines)
+
+    def test_infinite_renders_full_boundary(self):
+        out = reachability_bars([np.inf, 1.0], height=4, unicode=False)
+        first_column = [line[0] for line in out.splitlines()]
+        assert all(ch == "!" for ch in first_column)
+
+    def test_peak_reaches_top(self):
+        out = reachability_bars([1.0, 0.1], height=5, unicode=False)
+        assert out.splitlines()[0][0] == "#"
+
+
+class TestScatter:
+    def test_classes_get_distinct_glyphs(self):
+        X = np.array([[0.0, 0.0], [10.0, 10.0]])
+        out = scatter(X, labels=[0, 1], width=11, height=5)
+        assert "o" in out and "x" in out
+
+    def test_label_range_checked(self):
+        with pytest.raises(ValidationError):
+            scatter(np.zeros((2, 2)), labels=[0, 99])
+
+    def test_fig1_view_renders(self):
+        from repro.datasets import make_ds1
+
+        ds = make_ds1(seed=0)
+        out = scatter(ds.X, labels=ds.labels, width=60, height=20)
+        assert len(out.splitlines()) == 20
