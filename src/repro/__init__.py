@@ -32,6 +32,9 @@ Package layout
     theorem validation, and per-dimension explanations.
 :mod:`repro.io`
     CSV persistence for datasets and score files.
+:mod:`repro.obs`
+    opt-in instrumentation: deterministic op counters, timer spans and
+    JSON stats export (see ``docs/observability.md``).
 """
 
 from .core import (
@@ -59,6 +62,7 @@ from .exceptions import (
     ValidationError,
 )
 from .index import available_indexes, make_index
+from . import obs
 
 __version__ = "1.0.0"
 
@@ -85,5 +89,6 @@ __all__ = [
     "ValidationError",
     "available_indexes",
     "make_index",
+    "obs",
     "__version__",
 ]

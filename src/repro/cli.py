@@ -20,17 +20,23 @@ sweep
     ``repro-lof sweep data.mat --min-pts 10 50``
 demo
     Run the Figure 9 synthetic demo end to end and print its ranking.
+
+Any subcommand accepts the top-level ``--profile`` flag, which runs it
+inside an instrumentation scope (:mod:`repro.obs`) and emits the
+counter/timer snapshot as JSON — to stderr, or to ``--profile-out PATH``:
+``repro-lof --profile --profile-out profile.json demo``
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 import numpy as np
 
-from . import __version__
+from . import __version__, obs
 from .core.estimator import LocalOutlierFactor
 from .core.materialization import MaterializationDB
 from .core.ranking import rank_outliers
@@ -171,6 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command with repro.obs instrumentation enabled and "
+             "emit the counter/timer snapshot as JSON (stderr by default)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="write the --profile JSON snapshot to this file instead of stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_score = sub.add_parser("score", help="compute LOF scores for a CSV dataset")
@@ -226,10 +241,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit_profile(snapshot: dict, out_path: Optional[str]) -> None:
+    payload = json.dumps(snapshot, indent=2, sort_keys=True)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote instrumentation profile to {out_path}", file=sys.stderr)
+    else:
+        print(payload, file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.profile:
+            with obs.collect() as snapshot:
+                rc = args.func(args)
+            _emit_profile(snapshot, args.profile_out)
+            return rc
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

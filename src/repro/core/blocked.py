@@ -21,6 +21,7 @@ from typing import List
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_data, check_min_pts
 from ..exceptions import ValidationError
 from ..index import get_metric
@@ -52,19 +53,21 @@ def fast_materialize(
 
     rows_ids: List[np.ndarray] = []
     rows_dists: List[np.ndarray] = []
-    for start in range(0, n, block_size):
-        stop = min(start + block_size, n)
-        D = metric_obj.pairwise(X[start:stop], X)
-        # Exclude self: the diagonal of this block.
-        for local in range(stop - start):
-            D[local, start + local] = np.inf
-        kth = np.partition(D, ub - 1, axis=1)[:, ub - 1]
-        for local in range(stop - start):
-            ids = np.flatnonzero(D[local] <= kth[local])
-            dists = D[local, ids]
-            order = np.lexsort((ids, dists))
-            rows_ids.append(ids[order].astype(np.int64))
-            rows_dists.append(dists[order])
+    with obs.span("materialize.fast"):
+        for start in range(0, n, block_size):
+            stop = min(start + block_size, n)
+            obs.incr("materialize.blocks")
+            D = metric_obj.pairwise(X[start:stop], X)
+            # Exclude self: the diagonal of this block.
+            for local in range(stop - start):
+                D[local, start + local] = np.inf
+            kth = np.partition(D, ub - 1, axis=1)[:, ub - 1]
+            for local in range(stop - start):
+                ids = np.flatnonzero(D[local] <= kth[local])
+                dists = D[local, ids]
+                order = np.lexsort((ids, dists))
+                rows_ids.append(ids[order].astype(np.int64))
+                rows_dists.append(dists[order])
 
     width = max(len(r) for r in rows_ids)
     padded_ids = np.full((n, width), -1, dtype=np.int64)

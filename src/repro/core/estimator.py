@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_data, check_min_pts, check_min_pts_range
 from ..exceptions import NotFittedError, ValidationError
 from .materialization import MaterializationDB
@@ -41,6 +42,10 @@ class LocalOutlierFactor:
     threshold : scores strictly greater than this are flagged by
         :meth:`predict`; LOF ~ 1 means "in a cluster", so a threshold of
         1.5 (used by the paper's soccer study) is a reasonable default.
+    profile : when True, :meth:`fit` runs inside an isolated
+        :func:`repro.obs.collect` scope and stores the resulting
+        counter/timer snapshot (a JSON-serializable dict) on
+        ``profile_``.
 
     Attributes (after fit)
     ----------------------
@@ -48,6 +53,8 @@ class LocalOutlierFactor:
     lof_matrix_ : (m, n) per-MinPts LOF values (m = 1 for a single value).
     min_pts_values_ : the (m,) MinPts grid.
     materialization_ : the underlying :class:`MaterializationDB`.
+    profile_ : instrumentation snapshot of the fit (None unless
+        ``profile=True``).
 
     Examples
     --------
@@ -68,6 +75,7 @@ class LocalOutlierFactor:
         index="brute",
         duplicate_mode: str = "inf",
         threshold: float = 1.5,
+        profile: bool = False,
     ):
         self.min_pts = min_pts
         self.aggregate = aggregate
@@ -75,29 +83,41 @@ class LocalOutlierFactor:
         self.index = index
         self.duplicate_mode = duplicate_mode
         self.threshold = float(threshold)
+        self.profile = bool(profile)
         self._result: Optional[RangeLOFResult] = None
         self.materialization_: Optional[MaterializationDB] = None
+        self.profile_: Optional[dict] = None
 
     # -- lifecycle ----------------------------------------------------------
 
     def fit(self, X) -> "LocalOutlierFactor":
         """Compute LOF scores for every object of ``X``."""
+        if self.profile:
+            with obs.collect() as snapshot:
+                self._fit(X)
+            self.profile_ = snapshot
+        else:
+            self._fit(X)
+        return self
+
+    def _fit(self, X) -> None:
         X = check_data(X, min_rows=3)
         lb, ub = self._resolve_range(X.shape[0])
-        self.materialization_ = MaterializationDB.materialize(
-            X,
-            ub,
-            index=self.index,
-            metric=self.metric,
-            duplicate_mode=self.duplicate_mode,
-        )
-        self._result = lof_range(
-            min_pts_lb=lb,
-            min_pts_ub=ub,
-            aggregate=self.aggregate,
-            materialization=self.materialization_,
-        )
-        return self
+        with obs.span("estimator.materialize"):
+            self.materialization_ = MaterializationDB.materialize(
+                X,
+                ub,
+                index=self.index,
+                metric=self.metric,
+                duplicate_mode=self.duplicate_mode,
+            )
+        with obs.span("estimator.sweep"):
+            self._result = lof_range(
+                min_pts_lb=lb,
+                min_pts_ub=ub,
+                aggregate=self.aggregate,
+                materialization=self.materialization_,
+            )
 
     def fit_predict(self, X) -> np.ndarray:
         """Fit and return +1 (inlier) / -1 (outlier) per object."""

@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_data, check_min_pts
 from ..exceptions import DuplicatePointsError, ValidationError
 from ..index import NNIndex, make_index
@@ -137,13 +138,16 @@ class MaterializationDB:
 
         rows_ids: List[np.ndarray] = []
         rows_dists: List[np.ndarray] = []
-        for i in range(n):
-            if duplicate_mode == "distinct":
-                hood = cls._distinct_neighborhood(nn_index, X[i], i, ub, coord_keys)
-            else:
-                hood = nn_index.query_with_ties(X[i], ub, exclude=i)
-            rows_ids.append(hood.ids.astype(np.int64))
-            rows_dists.append(hood.distances.astype(np.float64))
+        with obs.span("materialize.query_loop"):
+            for i in range(n):
+                if duplicate_mode == "distinct":
+                    hood = cls._distinct_neighborhood(
+                        nn_index, X[i], i, ub, coord_keys
+                    )
+                else:
+                    hood = nn_index.query_with_ties(X[i], ub, exclude=i)
+                rows_ids.append(hood.ids.astype(np.int64))
+                rows_dists.append(hood.distances.astype(np.float64))
 
         width = max(len(r) for r in rows_ids)
         padded_ids = np.full((n, width), -1, dtype=np.int64)
@@ -280,6 +284,7 @@ class MaterializationDB:
         """
         k = self._check_k(min_pts)
         if k not in self._lrd_cache:
+            obs.incr("mscan.passes")
             flat_reach, offsets = self.reach_dists(k)
             counts = np.diff(offsets).astype(np.float64)
             sums = np.add.reduceat(flat_reach, offsets[:-1])
@@ -303,6 +308,7 @@ class MaterializationDB:
         """
         k = self._check_k(min_pts)
         lrd = self.lrd(k)
+        obs.incr("mscan.passes")
         flat_ids, _, offsets = self.neighborhoods(k)
         counts = np.diff(offsets).astype(np.float64)
         lrd_neighbors = lrd[flat_ids]

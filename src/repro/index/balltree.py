@@ -86,7 +86,7 @@ class BallTreeIndex(NNIndex):
             bound, _, node = heapq.heappop(frontier)
             if bound > best.worst_distance:
                 break
-            self.stats.nodes_visited += 1
+            self._visit_node()
             if node.is_leaf:
                 ids, dists = self._leaf_scan(node, q, exclude)
                 best.consider_many(dists, ids)
@@ -106,7 +106,7 @@ class BallTreeIndex(NNIndex):
             node = stack.pop()
             if self._ball_min_distance(q, node) > radius:
                 continue
-            self.stats.nodes_visited += 1
+            self._visit_node()
             if node.is_leaf:
                 ids, dists = self._leaf_scan(node, q, exclude)
                 mask = dists <= radius

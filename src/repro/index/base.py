@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple, Type
 
 import numpy as np
 
+from .. import obs
 from .._validation import check_data
 from ..exceptions import NotFittedError, ValidationError
 from .metrics import Metric, get_metric
@@ -173,6 +174,14 @@ class NNIndex(ABC):
         if self._X is None:
             raise NotFittedError(f"{type(self).__name__} is not fitted; call fit(X)")
 
+    # -- instrumentation ---------------------------------------------------
+
+    def _visit_node(self, n: int = 1) -> None:
+        """Record ``n`` index node/page visits (per-index stats + the
+        process-wide ``index.node_visits`` counter of :mod:`repro.obs`)."""
+        self.stats.nodes_visited += n
+        obs.incr("index.node_visits", n)
+
     # -- queries -----------------------------------------------------------
 
     def query(self, q, k: int, exclude: Optional[int] = None) -> Neighborhood:
@@ -186,6 +195,7 @@ class NNIndex(ABC):
         q = self._check_query_point(q)
         k = self._check_k(k, exclude)
         self.stats.queries += 1
+        obs.incr("knn.queries")
         return self._query(q, k, exclude)
 
     def query_with_ties(
@@ -200,6 +210,7 @@ class NNIndex(ABC):
         q = self._check_query_point(q)
         k = self._check_k(k, exclude)
         self.stats.queries += 1
+        obs.incr("knn.queries")
         return self._query_with_ties(q, k, exclude)
 
     def query_radius(self, q, radius: float, exclude: Optional[int] = None) -> Neighborhood:
@@ -209,6 +220,7 @@ class NNIndex(ABC):
         if not np.isfinite(radius) or radius < 0:
             raise ValidationError(f"radius must be finite and >= 0, got {radius}")
         self.stats.queries += 1
+        obs.incr("knn.queries")
         return self._query_radius(q, float(radius), exclude)
 
     # -- hooks for subclasses ----------------------------------------------

@@ -130,7 +130,7 @@ class GridIndex(NNIndex):
         ids = self._cells.get(cell)
         if ids is None:
             return None
-        self.stats.nodes_visited += 1
+        self._visit_node()
         if exclude is not None:
             ids = ids[ids != exclude]
             if len(ids) == 0:

@@ -105,7 +105,7 @@ class KDTreeIndex(NNIndex):
             bound, _, node = heapq.heappop(frontier)
             if bound > best.worst_distance:
                 break
-            self.stats.nodes_visited += 1
+            self._visit_node()
             if node.is_leaf:
                 ids, dists = self._leaf_scan(node, q, exclude)
                 best.consider_many(dists, ids)
@@ -125,7 +125,7 @@ class KDTreeIndex(NNIndex):
             node = stack.pop()
             if self.metric.min_distance_to_rect(q, node.lo, node.hi) > radius:
                 continue
-            self.stats.nodes_visited += 1
+            self._visit_node()
             if node.is_leaf:
                 ids, dists = self._leaf_scan(node, q, exclude)
                 mask = dists <= radius

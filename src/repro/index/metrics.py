@@ -22,6 +22,7 @@ from typing import Dict, Type
 
 import numpy as np
 
+from .. import obs
 from ..exceptions import ValidationError
 
 
@@ -31,21 +32,47 @@ class Metric:
     Subclasses must be true metrics (symmetry, identity, triangle
     inequality); the LOF definitions and the index pruning rules rely on
     the triangle inequality.
+
+    The public ``distance`` / ``pairwise_to_point`` / ``pairwise``
+    methods are the single distance-kernel chokepoint of the whole
+    package: every scalar distance computed anywhere flows through one
+    of them, which is where :mod:`repro.obs` counts kernel invocations
+    (``distance.kernel_calls``) and scalar evaluations
+    (``distance.evaluations``). Subclasses implement the underscore
+    variants and inherit the instrumented front door.
     """
 
     name: str = "abstract"
 
+    # -- instrumented front door (do not override) --------------------------
+
     def distance(self, p: np.ndarray, q: np.ndarray) -> float:
-        raise NotImplementedError
+        """A single distance d(p, q)."""
+        obs.record_kernel(1)
+        return self._distance(p, q)
 
     def pairwise_to_point(self, X: np.ndarray, q: np.ndarray) -> np.ndarray:
-        raise NotImplementedError
+        """Distances from every row of ``X`` to the single point ``q``."""
+        obs.record_kernel(len(X))
+        return self._pairwise_to_point(X, q)
 
     def pairwise(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         """Full (n, m) distance matrix between rows of X and rows of Y."""
+        obs.record_kernel(X.shape[0] * Y.shape[0])
+        return self._pairwise(X, Y)
+
+    # -- kernels (subclass hooks) -------------------------------------------
+
+    def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _pairwise_to_point(self, X: np.ndarray, q: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _pairwise(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         out = np.empty((X.shape[0], Y.shape[0]))
         for j in range(Y.shape[0]):
-            out[:, j] = self.pairwise_to_point(X, Y[j])
+            out[:, j] = self._pairwise_to_point(X, Y[j])
         return out
 
     def min_distance_to_rect(
@@ -69,15 +96,15 @@ class EuclideanMetric(Metric):
 
     name = "euclidean"
 
-    def distance(self, p, q):
+    def _distance(self, p, q):
         diff = np.asarray(p, dtype=np.float64) - np.asarray(q, dtype=np.float64)
         return float(np.sqrt(np.dot(diff, diff)))
 
-    def pairwise_to_point(self, X, q):
+    def _pairwise_to_point(self, X, q):
         diff = X - q
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
-    def pairwise(self, X, Y):
+    def _pairwise(self, X, Y):
         # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped against rounding.
         xx = np.einsum("ij,ij->i", X, X)[:, None]
         yy = np.einsum("ij,ij->i", Y, Y)[None, :]
@@ -101,10 +128,10 @@ class ManhattanMetric(Metric):
 
     name = "manhattan"
 
-    def distance(self, p, q):
+    def _distance(self, p, q):
         return float(np.sum(np.abs(np.asarray(p, dtype=np.float64) - q)))
 
-    def pairwise_to_point(self, X, q):
+    def _pairwise_to_point(self, X, q):
         return np.sum(np.abs(X - q), axis=1)
 
     def min_distance_to_rect(self, q, lo, hi):
@@ -121,10 +148,10 @@ class ChebyshevMetric(Metric):
 
     name = "chebyshev"
 
-    def distance(self, p, q):
+    def _distance(self, p, q):
         return float(np.max(np.abs(np.asarray(p, dtype=np.float64) - q)))
 
-    def pairwise_to_point(self, X, q):
+    def _pairwise_to_point(self, X, q):
         return np.max(np.abs(X - q), axis=1)
 
     def min_distance_to_rect(self, q, lo, hi):
@@ -147,11 +174,11 @@ class MinkowskiMetric(Metric):
             raise ValidationError(f"Minkowski order p must be >= 1, got {p}")
         self.p = p
 
-    def distance(self, p, q):
+    def _distance(self, p, q):
         diff = np.abs(np.asarray(p, dtype=np.float64) - q)
         return float(np.sum(diff ** self.p) ** (1.0 / self.p))
 
-    def pairwise_to_point(self, X, q):
+    def _pairwise_to_point(self, X, q):
         return np.sum(np.abs(X - q) ** self.p, axis=1) ** (1.0 / self.p)
 
     def min_distance_to_rect(self, q, lo, hi):

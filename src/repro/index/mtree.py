@@ -217,7 +217,7 @@ class MTreeIndex(NNIndex):
             bound, _, node, d_q_parent = heapq.heappop(frontier)
             if bound > best.worst_distance:
                 break
-            self.stats.nodes_visited += 1
+            self._visit_node()
             for entry in node.entries:
                 # Triangle-inequality prefilter via the cached parent
                 # distance: skip without computing d(q, entry).
@@ -245,7 +245,7 @@ class MTreeIndex(NNIndex):
         stack: List[Tuple[_MNode, Optional[float]]] = [(self._root, None)]
         while stack:
             node, d_q_parent = stack.pop()
-            self.stats.nodes_visited += 1
+            self._visit_node()
             for entry in node.entries:
                 if d_q_parent is not None:
                     if abs(d_q_parent - entry.d_parent) - entry.radius > radius:

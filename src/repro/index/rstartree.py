@@ -337,7 +337,7 @@ class RStarTreeIndex(NNIndex):
             bound, _, node = heapq.heappop(frontier)
             if bound > best.worst_distance:
                 break
-            self.stats.nodes_visited += 1
+            self._visit_node()
             if node.is_leaf:
                 for entry in node.entries:
                     if exclude is not None and entry.point_id == exclude:
@@ -359,7 +359,7 @@ class RStarTreeIndex(NNIndex):
         stack = [self._root]
         while stack:
             node = stack.pop()
-            self.stats.nodes_visited += 1
+            self._visit_node()
             if node.is_leaf:
                 for entry in node.entries:
                     if exclude is not None and entry.point_id == exclude:

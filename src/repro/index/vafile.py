@@ -65,7 +65,7 @@ class VAFileIndex(NNIndex):
         cols = np.arange(d)
         cell_lo = self._edges[cells, cols]      # (n, d)
         cell_hi = self._edges[cells + 1, cols]  # (n, d)
-        self.stats.nodes_visited += n  # one approximation record per point
+        self._visit_node(n)  # one approximation record per point
         lower = np.empty(n)
         upper = np.empty(n)
         # Rectangle bounds vectorized for the Minkowski-family metrics.

@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..exceptions import ValidationError
 from .base import register_index
 from .rstartree import (
@@ -97,6 +98,7 @@ class XTreeIndex(RStarTreeIndex):
         if fraction > self.max_overlap:
             # Refuse the split: extend this node into a supernode whose
             # capacity grows by one block each time it overflows again.
+            obs.incr("index.supernode_overflows")
             node.is_super = True
             current = self._supernode_capacity.get(id(node), self.max_entries)
             self._supernode_capacity[id(node)] = current + self.max_entries

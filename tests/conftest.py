@@ -7,6 +7,20 @@ uses a fixed seed so failures are reproducible.
 import numpy as np
 import pytest
 
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _pristine_obs():
+    """The instrumentation registry is process-global; start and leave
+    every test with it disabled and empty so counter assertions never
+    see another test's activity."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
 
 @pytest.fixture
 def line4():

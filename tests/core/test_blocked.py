@@ -5,7 +5,7 @@ import time
 import numpy as np
 import pytest
 
-from repro import lof_scores, materialize
+from repro import lof_scores, materialize, obs
 from repro.core import fast_lof_scores, fast_materialize
 from repro.exceptions import ValidationError
 
@@ -48,14 +48,50 @@ class TestEquivalence:
 
 
 class TestPerformance:
+    """Counter-based cost assertions (exact, deterministic).
+
+    The wall-clock comparison this class used to make was flaky under
+    scheduler and BLAS warm-up jitter; the paper's actual claim is about
+    *work*, so we assert on repro.obs distance-kernel counters instead.
+    A timing check survives only as the opt-in slow test below.
+    """
+
     def test_faster_than_query_loop(self):
+        # "Faster" measured as Python-level distance-kernel invocations:
+        # the blocked path issues ceil(n / block_size) pairwise calls,
+        # the query loop one pairwise_to_point call per object.
         X = np.random.default_rng(0).normal(size=(1500, 3))
-        t0 = time.perf_counter()
+        with obs.collect() as fast:
+            fast_materialize(X, 20)
+        with obs.collect() as loop:
+            materialize(X, 20)
+        fast_calls = fast["counters"]["distance.kernel_calls"]
+        loop_calls = loop["counters"]["distance.kernel_calls"]
+        assert fast_calls * 10 <= loop_calls  # acceptance bound: >= 10x
+        # Exact expectations, not just the ratio: ceil(1500/512) blocks
+        # versus one k-NN query (= one kernel call) per object.
+        assert fast_calls == 3
+        assert fast["counters"]["materialize.blocks"] == 3
+        assert loop_calls == 1500
+        assert loop["counters"]["knn.queries"] == 1500
+        # Both paths compute the same number of scalar distances.
+        assert (
+            fast["counters"]["distance.evaluations"]
+            == loop["counters"]["distance.evaluations"]
+            == 1500 * 1500
+        )
+
+    @pytest.mark.slow
+    def test_faster_than_query_loop_wallclock(self):
+        # Opt-in (pytest -m slow): timing on shared CI boxes is jitter.
+        X = np.random.default_rng(0).normal(size=(1500, 3))
+        fast_materialize(X, 20)  # warm the BLAS/numpy paths
+        t0 = time.monotonic()
         fast_materialize(X, 20)
-        t_fast = time.perf_counter() - t0
-        t0 = time.perf_counter()
+        t_fast = time.monotonic() - t0
+        t0 = time.monotonic()
         materialize(X, 20)
-        t_loop = time.perf_counter() - t0
+        t_loop = time.monotonic() - t0
         assert t_fast < t_loop  # typically 10-50x, assert conservatively
 
 

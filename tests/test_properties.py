@@ -43,6 +43,20 @@ def point_sets(min_n=8, max_n=40, dims=(1, 2, 3)):
     )
 
 
+def _assume_no_near_ties(X):
+    """Exclude configurations whose exact distance ties would be broken
+    by the floating-point noise of a coordinate transform, changing
+    tie-inclusive neighborhoods (Definition 4) and hence LOF."""
+    from hypothesis import assume
+    from repro.index import get_metric
+
+    D = get_metric("euclidean").pairwise(X, X)
+    for row in D:
+        positive = np.sort(row[row > 0])
+        if len(positive) > 1:
+            assume(np.min(np.diff(positive)) > 1e-9 * max(1.0, positive[-1]))
+
+
 @settings(**SETTINGS)
 @given(X=point_sets())
 def test_lof_is_positive_and_finite(X):
@@ -54,20 +68,36 @@ def test_lof_is_positive_and_finite(X):
 @settings(**SETTINGS)
 @given(X=point_sets(), shift=st.floats(-50, 50), scale=st.floats(0.1, 20))
 def test_lof_similarity_invariance(X, shift, scale):
-    # Exact distance ties (e.g. a regular grid) are legitimately broken
-    # by floating-point affine maps, changing tie-inclusive
-    # neighborhoods — exclude those configurations.
-    from hypothesis import assume
-    from repro.index import get_metric
-
-    D = get_metric("euclidean").pairwise(X, X)
-    for row in D:
-        positive = np.sort(row[row > 0])
-        if len(positive) > 1:
-            assume(np.min(np.diff(positive)) > 1e-9 * max(1.0, positive[-1]))
+    _assume_no_near_ties(X)
     base = lof_scores(X, min_pts=3)
     transformed = lof_scores(X * scale + shift, min_pts=3)
     np.testing.assert_allclose(transformed, base, rtol=1e-6, atol=1e-9)
+
+
+@settings(**SETTINGS)
+@given(X=point_sets(dims=(2, 3)), seed=st.integers(0, 2**16))
+def test_lof_translation_invariance(X, seed):
+    """Euclidean LOF is invariant under any per-coordinate translation
+    (a different offset along each axis, not just a scalar shift)."""
+    _assume_no_near_ties(X)
+    rng = np.random.default_rng(seed)
+    offset = rng.uniform(-100.0, 100.0, size=X.shape[1])
+    base = lof_scores(X, min_pts=3)
+    translated = lof_scores(X + offset, min_pts=3)
+    np.testing.assert_allclose(translated, base, rtol=1e-6, atol=1e-9)
+
+
+@settings(**SETTINGS)
+@given(X=point_sets(dims=(2, 3)), seed=st.integers(0, 2**16))
+def test_lof_rotation_invariance(X, seed):
+    """Euclidean LOF is invariant under orthogonal rotation: distances
+    are preserved exactly up to floating-point rounding."""
+    _assume_no_near_ties(X)
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.normal(size=(X.shape[1], X.shape[1])))
+    base = lof_scores(X, min_pts=3)
+    rotated = lof_scores(X @ Q, min_pts=3)
+    np.testing.assert_allclose(rotated, base, rtol=1e-5, atol=1e-8)
 
 
 @settings(**SETTINGS)
@@ -146,6 +176,24 @@ def test_incremental_insert_matches_batch(X, point):
     full = lof_scores(np.vstack([X3, point[None, :]]), 3)
     got = np.array([inc.scores[h] for h in sorted(inc.scores)])
     np.testing.assert_allclose(got, full, atol=1e-8, rtol=1e-6)
+
+
+@settings(**SETTINGS)
+@given(X=point_sets(min_n=6, max_n=15, dims=(2,)), dup=st.integers(3, 5))
+def test_distinct_mode_keeps_lrd_finite_on_duplicates(X, dup):
+    """The remark after Definition 6: with MinPts-fold duplicates the
+    plain definition yields lrd = inf, and the paper's proposed
+    k-distinct-distance fix keeps every lrd finite."""
+    Xdup = np.repeat(X, dup, axis=0)
+    min_pts = dup - 1  # each point has dup-1 co-located twins
+    plain = materialize(Xdup, min_pts, duplicate_mode="inf")
+    assert np.all(np.isinf(plain.lrd(min_pts)))
+    distinct = materialize(Xdup, min_pts, duplicate_mode="distinct")
+    lrd = distinct.lrd(min_pts)
+    assert np.all(np.isfinite(lrd))
+    assert np.all(lrd > 0)
+    # LOF stays well-defined (positive, finite) in distinct mode too.
+    assert np.all(np.isfinite(distinct.lof(min_pts)))
 
 
 @settings(**SETTINGS)
