@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Benchmark harness for the step-1 materialization engine.
+
+Measures the three materialization paths over a grid of dataset sizes
+and worker counts, and emits a machine-readable ``BENCH_materialize.json``
+that seeds the repo's performance trajectory (one file per engine; later
+PRs append runs next to it and compare):
+
+``query_loop``
+    :func:`repro.core.materialize` — one ``query_with_ties`` per object
+    through the index front door (the paper's literal step 1).
+``batched``
+    :func:`repro.core.materialize_batched` — one
+    ``query_batch_with_ties`` per block of queries; on the brute backend
+    one distance-kernel invocation per block.
+``fast``
+    :func:`repro.core.fast_materialize` — blocked pairwise + vectorized
+    tie-inclusive selection, no index front door at all.
+
+Every run records wall-clock seconds (context, *never* asserted) next to
+the deterministic :mod:`repro.obs` counters (the actual contract:
+``distance.kernel_calls``, ``distance.evaluations``, ``knn.queries``,
+``knn.batch_queries``, ``materialize.blocks``). A ``derived`` section
+reports the kernel-call ratio of ``query_loop`` over ``batched`` per
+size — the acceptance trajectory number.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_materialize.py \
+        --sizes 500 1000 2000 --n-jobs 1 2 --out BENCH_materialize.json
+
+    # CI schema check of an emitted file:
+    python benchmarks/bench_materialize.py --validate BENCH_materialize.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+SCHEMA = "repro.bench.materialize/v1"
+
+#: required keys (and types) of every result record — the CI smoke job
+#: validates emitted files against this.
+RESULT_FIELDS = {
+    "n": int,
+    "dim": int,
+    "min_pts_ub": int,
+    "path": str,
+    "index": str,
+    "block_size": int,
+    "n_jobs": int,
+    "wall_s": float,
+    "counters": dict,
+}
+
+
+def _run_one(path, X, ub, block_size, n_jobs, index_name):
+    from repro import obs
+    from repro.core import fast_materialize, materialize, materialize_batched
+
+    if path == "query_loop":
+        fn = lambda: materialize(X, ub, index=index_name, n_jobs=n_jobs)
+    elif path == "batched":
+        fn = lambda: materialize_batched(
+            X, ub, index=index_name, block_size=block_size, n_jobs=n_jobs
+        )
+    elif path == "fast":
+        fn = lambda: fast_materialize(X, ub, block_size=block_size, n_jobs=n_jobs)
+    else:
+        raise ValueError(f"unknown path {path!r}")
+
+    t0 = time.perf_counter()
+    with obs.collect() as snap:
+        db = fn()
+    wall = time.perf_counter() - t0
+    assert db.n_points == X.shape[0]
+    return wall, snap["counters"]
+
+
+def run(args) -> dict:
+    results = []
+    for n in args.sizes:
+        X = np.random.default_rng(args.seed).normal(size=(n, args.dim))
+        ub = min(args.min_pts_ub, n - 1)
+        for path in args.paths:
+            for n_jobs in args.n_jobs:
+                wall, counters = _run_one(
+                    path, X, ub, args.block_size, n_jobs, args.index
+                )
+                results.append(
+                    {
+                        "n": n,
+                        "dim": args.dim,
+                        "min_pts_ub": ub,
+                        "path": path,
+                        "index": args.index if path != "fast" else "none",
+                        "block_size": args.block_size,
+                        "n_jobs": n_jobs,
+                        "wall_s": round(wall, 6),
+                        "counters": counters,
+                    }
+                )
+                print(
+                    f"n={n:>6} path={path:<10} n_jobs={n_jobs} "
+                    f"wall={wall:8.4f}s kernel_calls="
+                    f"{counters.get('distance.kernel_calls', 0)}",
+                    file=sys.stderr,
+                )
+
+    derived = {}
+    for n in args.sizes:
+        loop = [
+            r for r in results
+            if r["n"] == n and r["path"] == "query_loop" and r["n_jobs"] == 1
+        ]
+        batched = [
+            r for r in results
+            if r["n"] == n and r["path"] == "batched" and r["n_jobs"] == 1
+        ]
+        if loop and batched:
+            lc = loop[0]["counters"].get("distance.kernel_calls", 0)
+            bc = batched[0]["counters"].get("distance.kernel_calls", 0)
+            derived[str(n)] = {
+                "query_loop_kernel_calls": lc,
+                "batched_kernel_calls": bc,
+                "kernel_call_ratio": round(lc / bc, 2) if bc else None,
+            }
+
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "sizes": args.sizes,
+            "dim": args.dim,
+            "min_pts_ub": args.min_pts_ub,
+            "block_size": args.block_size,
+            "n_jobs": args.n_jobs,
+            "paths": args.paths,
+            "index": args.index,
+            "seed": args.seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+        "derived": {"kernel_calls_vs_query_loop": derived},
+    }
+
+
+def validate(payload) -> list:
+    """Return a list of schema problems (empty == valid)."""
+    problems = []
+    if payload.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}, got {payload.get('schema')!r}")
+    for section in ("config", "environment", "derived"):
+        if not isinstance(payload.get(section), dict):
+            problems.append(f"missing or non-dict section {section!r}")
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append("results must be a non-empty list")
+        return problems
+    for i, record in enumerate(results):
+        for field, typ in RESULT_FIELDS.items():
+            value = record.get(field)
+            ok = isinstance(value, typ) and not (
+                typ in (int, float) and isinstance(value, bool)
+            )
+            if typ is float:
+                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            if not ok:
+                problems.append(
+                    f"results[{i}].{field} must be {typ.__name__}, got {value!r}"
+                )
+        counters = record.get("counters")
+        if isinstance(counters, dict) and not all(
+            isinstance(v, int) for v in counters.values()
+        ):
+            problems.append(f"results[{i}].counters values must be integers")
+    return problems
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", nargs="+", type=int, default=[500, 1000, 2000])
+    parser.add_argument("--dim", type=int, default=3)
+    parser.add_argument("--min-pts-ub", type=int, default=20)
+    parser.add_argument("--block-size", type=int, default=512)
+    parser.add_argument(
+        "--n-jobs", nargs="+", type=int, default=[1, 2],
+        help="worker counts to sweep (each path runs once per value)",
+    )
+    parser.add_argument(
+        "--paths", nargs="+", default=["query_loop", "batched", "fast"],
+        choices=["query_loop", "batched", "fast"],
+    )
+    parser.add_argument("--index", default="brute")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_materialize.json")
+    parser.add_argument(
+        "--validate", metavar="PATH", default=None,
+        help="validate an emitted JSON file against the schema and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.validate:
+        with open(args.validate) as fh:
+            payload = json.load(fh)
+        problems = validate(payload)
+        for problem in problems:
+            print(f"schema error: {problem}", file=sys.stderr)
+        print(
+            f"{args.validate}: "
+            + ("INVALID" if problems else f"valid ({len(payload['results'])} records)")
+        )
+        return 1 if problems else 0
+
+    payload = run(args)
+    problems = validate(payload)
+    if problems:  # the harness must never emit what its own check rejects
+        for problem in problems:
+            print(f"internal schema error: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(payload['results'])} records to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate BENCH_materialize.json at the repo root with the default
+# trajectory grid. Extra arguments are passed through to the harness,
+# e.g.:  benchmarks/run_bench_materialize.sh --sizes 200 --n-jobs 1
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_materialize.py --out BENCH_materialize.json "$@"
+python benchmarks/bench_materialize.py --validate BENCH_materialize.json

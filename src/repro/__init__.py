@@ -49,6 +49,7 @@ from .core import (
     lof_scores,
     local_reachability_density,
     materialize,
+    materialize_batched,
     rank_outliers,
     reach_dist,
     reachability_matrix,
@@ -78,6 +79,7 @@ __all__ = [
     "lof_scores",
     "local_reachability_density",
     "materialize",
+    "materialize_batched",
     "rank_outliers",
     "reach_dist",
     "reachability_matrix",

@@ -68,6 +68,11 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--metric", default="euclidean",
         help="distance metric: euclidean, manhattan, chebyshev",
     )
+    parser.add_argument(
+        "--n-jobs", type=int, default=None, metavar="N",
+        help="parallel workers for the materialization step "
+             "(default: serial; -1 = one per CPU; results are identical)",
+    )
 
 
 def _min_pts_arg(values: List[int]):
@@ -84,6 +89,7 @@ def _fit(args, X) -> LocalOutlierFactor:
         aggregate=args.aggregate,
         metric=args.metric,
         index=args.index,
+        n_jobs=args.n_jobs,
     )
     return est.fit(X)
 
@@ -136,6 +142,7 @@ def _cmd_materialize(args) -> int:
         index=args.index,
         metric=args.metric,
         duplicate_mode=args.duplicate_mode,
+        n_jobs=args.n_jobs,
     )
     save_materialization(args.out, mat)
     print(
@@ -222,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_mat.add_argument("--metric", default="euclidean")
     p_mat.add_argument(
         "--duplicate-mode", choices=("inf", "distinct", "error"), default="inf"
+    )
+    p_mat.add_argument(
+        "--n-jobs", type=int, default=None, metavar="N",
+        help="parallel workers for the query loop (-1 = one per CPU)",
     )
     p_mat.set_defaults(func=_cmd_materialize)
 

@@ -9,6 +9,8 @@ Module map (paper anchor in parentheses):
 * :mod:`~repro.core.bounds` — Lemma 1, Theorems 1-2 (Section 5)
 * :mod:`~repro.core.range_lof` — MinPts-range heuristic (Section 6.2)
 * :mod:`~repro.core.materialization` — the two-step algorithm (Section 7.4)
+* :mod:`~repro.core.blocked` — blocked, fully vectorized materialization
+* :mod:`~repro.core.parallel` — ``n_jobs`` process-pool sharding for step 1
 * :mod:`~repro.core.estimator` — the fit/score object API
 * :mod:`~repro.core.ranking` — ranked outlier reports
 * :mod:`~repro.core.duplicates` — k-distinct-distance utilities
@@ -37,7 +39,8 @@ from .streaming import StreamEvent, StreamingLOFDetector
 from .topn import TopNResult, top_n_lof
 from .lof import lof_scores
 from .lrd import local_reachability_density
-from .materialization import MaterializationDB, materialize
+from .materialization import MaterializationDB, materialize, materialize_batched
+from .parallel import fork_available, map_sharded, resolve_n_jobs
 from .neighbors import k_distance, k_distance_neighborhood
 from .range_lof import RangeLOFResult, lof_range, suggest_min_pts_range
 from .reference import naive_lof, naive_lrd
@@ -71,6 +74,10 @@ __all__ = [
     "local_reachability_density",
     "MaterializationDB",
     "materialize",
+    "materialize_batched",
+    "fork_available",
+    "map_sharded",
+    "resolve_n_jobs",
     "k_distance",
     "k_distance_neighborhood",
     "RangeLOFResult",

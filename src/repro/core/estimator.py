@@ -42,6 +42,9 @@ class LocalOutlierFactor:
     threshold : scores strictly greater than this are flagged by
         :meth:`predict`; LOF ~ 1 means "in a cluster", so a threshold of
         1.5 (used by the paper's soccer study) is a reasonable default.
+    n_jobs : process-pool parallelism for the materialization step
+        (``None``/1 serial, ``-1`` one worker per CPU). Scores are
+        bit-identical for every value; see ``docs/performance.md``.
     profile : when True, :meth:`fit` runs inside an isolated
         :func:`repro.obs.collect` scope and stores the resulting
         counter/timer snapshot (a JSON-serializable dict) on
@@ -76,6 +79,7 @@ class LocalOutlierFactor:
         duplicate_mode: str = "inf",
         threshold: float = 1.5,
         profile: bool = False,
+        n_jobs=None,
     ):
         self.min_pts = min_pts
         self.aggregate = aggregate
@@ -84,6 +88,7 @@ class LocalOutlierFactor:
         self.duplicate_mode = duplicate_mode
         self.threshold = float(threshold)
         self.profile = bool(profile)
+        self.n_jobs = n_jobs
         self._result: Optional[RangeLOFResult] = None
         self.materialization_: Optional[MaterializationDB] = None
         self.profile_: Optional[dict] = None
@@ -110,6 +115,7 @@ class LocalOutlierFactor:
                 index=self.index,
                 metric=self.metric,
                 duplicate_mode=self.duplicate_mode,
+                n_jobs=self.n_jobs,
             )
         with obs.span("estimator.sweep"):
             self._result = lof_range(

@@ -50,6 +50,7 @@ from .. import obs
 from .._validation import check_data, check_min_pts
 from ..exceptions import DuplicatePointsError, ValidationError
 from ..index import NNIndex, make_index
+from .parallel import map_sharded, resolve_n_jobs
 
 _DUPLICATE_MODES = ("inf", "distinct", "error")
 
@@ -94,6 +95,7 @@ class MaterializationDB:
         self._kdist_cache: Dict[int, np.ndarray] = {}
         self._csr_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self._lrd_cache: Dict[int, np.ndarray] = {}
+        self._lof_cache: Dict[int, np.ndarray] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -105,12 +107,17 @@ class MaterializationDB:
         index="brute",
         metric="euclidean",
         duplicate_mode: str = "inf",
+        n_jobs=None,
     ) -> "MaterializationDB":
         """Step 1 of the two-step algorithm: build M from dataset ``X``.
 
         ``index`` may be a registry name ('brute', 'grid', 'kdtree',
         'balltree', 'rstar', 'xtree', 'vafile'), an :class:`NNIndex`
-        class, or a fitted/unfitted instance.
+        class, or a fitted/unfitted instance. ``n_jobs`` shards the
+        per-object query loop across a fork-based process pool
+        (``None``/1 serial, ``-1`` one worker per CPU); the fitted index
+        is shared with workers copy-on-write and the result is
+        bit-identical to the serial run.
         """
         X = check_data(X, min_rows=2)
         n = X.shape[0]
@@ -119,6 +126,7 @@ class MaterializationDB:
             raise ValidationError(
                 f"duplicate_mode must be one of {_DUPLICATE_MODES}, got {duplicate_mode!r}"
             )
+        jobs = resolve_n_jobs(n_jobs)
         coord_keys = None
         if duplicate_mode == "distinct":
             _, coord_keys = np.unique(X, axis=0, return_inverse=True)
@@ -136,18 +144,28 @@ class MaterializationDB:
                 "a pre-fitted index must be fitted on the same dataset"
             )
 
-        rows_ids: List[np.ndarray] = []
-        rows_dists: List[np.ndarray] = []
-        with obs.span("materialize.query_loop"):
-            for i in range(n):
+        def query_shard(ids):
+            shard_ids: List[np.ndarray] = []
+            shard_dists: List[np.ndarray] = []
+            for i in ids:
+                i = int(i)
                 if duplicate_mode == "distinct":
                     hood = cls._distinct_neighborhood(
                         nn_index, X[i], i, ub, coord_keys
                     )
                 else:
                     hood = nn_index.query_with_ties(X[i], ub, exclude=i)
-                rows_ids.append(hood.ids.astype(np.int64))
-                rows_dists.append(hood.distances.astype(np.float64))
+                shard_ids.append(hood.ids.astype(np.int64))
+                shard_dists.append(hood.distances.astype(np.float64))
+            return shard_ids, shard_dists
+
+        rows_ids: List[np.ndarray] = []
+        rows_dists: List[np.ndarray] = []
+        with obs.span("materialize.query_loop"):
+            shards = np.array_split(np.arange(n), jobs) if jobs > 1 else [range(n)]
+            for shard_ids, shard_dists in map_sharded(query_shard, shards, jobs):
+                rows_ids.extend(shard_ids)
+                rows_dists.extend(shard_dists)
 
         width = max(len(r) for r in rows_ids)
         padded_ids = np.full((n, width), -1, dtype=np.int64)
@@ -162,6 +180,62 @@ class MaterializationDB:
             duplicate_mode=duplicate_mode,
             coord_keys=coord_keys,
         )
+
+    @classmethod
+    def materialize_batched(
+        cls,
+        X,
+        min_pts_ub: int,
+        index="brute",
+        metric="euclidean",
+        block_size: int = 512,
+        n_jobs=None,
+    ) -> "MaterializationDB":
+        """Step 1 through the batched index front door.
+
+        Issues one :meth:`~repro.index.NNIndex.query_batch_with_ties`
+        call per block of ``block_size`` query rows instead of one
+        Python-level query per object — O(n / block_size) front-door
+        crossings, and on the brute backend O(n / block_size) distance
+        kernel invocations. Neighbor sets, tie handling and the
+        (distance, id) order are identical to :meth:`materialize`
+        (duplicate mode ``'inf'``); on the brute backend distances match
+        :func:`~repro.core.blocked.fast_materialize` bit-for-bit at equal
+        ``block_size``.
+        """
+        X = check_data(X, min_rows=2)
+        n = X.shape[0]
+        ub = check_min_pts(min_pts_ub, n, name="min_pts_ub")
+        if block_size < 1:
+            raise ValidationError(f"block_size must be >= 1, got {block_size}")
+        jobs = resolve_n_jobs(n_jobs)
+
+        nn_index = make_index(index, metric=metric)
+        if not nn_index.is_fitted:
+            nn_index.fit(X)
+        elif nn_index.n_points != n:
+            raise ValidationError(
+                "a pre-fitted index must be fitted on the same dataset"
+            )
+
+        def query_block(bounds):
+            start, stop = bounds
+            return nn_index.query_batch_with_ties(
+                X[start:stop], ub, exclude=np.arange(start, stop)
+            )
+
+        bounds = [
+            (s, min(s + block_size, n)) for s in range(0, n, block_size)
+        ]
+        with obs.span("materialize.batched"):
+            blocks = map_sharded(query_block, bounds, jobs)
+            width = max(ids.shape[1] for ids, _ in blocks)
+            padded_ids = np.full((n, width), -1, dtype=np.int64)
+            padded_dists = np.full((n, width), np.inf, dtype=np.float64)
+            for (start, stop), (ids, dists) in zip(bounds, blocks):
+                padded_ids[start:stop, : ids.shape[1]] = ids
+                padded_dists[start:stop, : dists.shape[1]] = dists
+        return cls(padded_ids, padded_dists, min_pts_ub=ub)
 
     @staticmethod
     def _distinct_neighborhood(nn_index: NNIndex, q, self_id: int, k: int, coord_keys):
@@ -305,20 +379,27 @@ class MaterializationDB:
 
         This is the second O(n) scan of step 2. Ratio convention for
         duplicate-heavy data in mode 'inf': inf/inf := 1, finite/inf := 0.
+
+        Results are cached per ``min_pts`` (like k-distances and lrd), so
+        a repeated call — e.g. the Section 6.2 max-LOF sweep revisiting a
+        value — reads M zero additional times; ``mscan.passes`` counts
+        only cache misses.
         """
         k = self._check_k(min_pts)
-        lrd = self.lrd(k)
-        obs.incr("mscan.passes")
-        flat_ids, _, offsets = self.neighborhoods(k)
-        counts = np.diff(offsets).astype(np.float64)
-        lrd_neighbors = lrd[flat_ids]
-        lrd_self = np.repeat(lrd, np.diff(offsets))
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratios = lrd_neighbors / lrd_self
-        # inf/inf produces NaN; the convention for co-located points is 1.
-        both_inf = np.isinf(lrd_neighbors) & np.isinf(lrd_self)
-        ratios[both_inf] = 1.0
-        return np.add.reduceat(ratios, offsets[:-1]) / counts
+        if k not in self._lof_cache:
+            lrd = self.lrd(k)
+            obs.incr("mscan.passes")
+            flat_ids, _, offsets = self.neighborhoods(k)
+            counts = np.diff(offsets).astype(np.float64)
+            lrd_neighbors = lrd[flat_ids]
+            lrd_self = np.repeat(lrd, np.diff(offsets))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = lrd_neighbors / lrd_self
+            # inf/inf produces NaN; the convention for co-located points is 1.
+            both_inf = np.isinf(lrd_neighbors) & np.isinf(lrd_self)
+            ratios[both_inf] = 1.0
+            self._lof_cache[k] = np.add.reduceat(ratios, offsets[:-1]) / counts
+        return self._lof_cache[k]
 
     def lof_range(self, min_pts_lb: int, min_pts_ub: int) -> Dict[int, np.ndarray]:
         """LOF vectors for every MinPts in [lb, ub] (Section 6.2 sweep)."""
@@ -357,6 +438,7 @@ def materialize(
     index="brute",
     metric="euclidean",
     duplicate_mode: str = "inf",
+    n_jobs=None,
 ) -> MaterializationDB:
     """Convenience alias for :meth:`MaterializationDB.materialize`."""
     return MaterializationDB.materialize(
@@ -365,4 +447,24 @@ def materialize(
         index=index,
         metric=metric,
         duplicate_mode=duplicate_mode,
+        n_jobs=n_jobs,
+    )
+
+
+def materialize_batched(
+    X,
+    min_pts_ub: int,
+    index="brute",
+    metric="euclidean",
+    block_size: int = 512,
+    n_jobs=None,
+) -> MaterializationDB:
+    """Convenience alias for :meth:`MaterializationDB.materialize_batched`."""
+    return MaterializationDB.materialize_batched(
+        X,
+        min_pts_ub,
+        index=index,
+        metric=metric,
+        block_size=block_size,
+        n_jobs=n_jobs,
     )

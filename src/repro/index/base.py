@@ -115,6 +115,28 @@ class KBestHeap:
             heapq.heapreplace(self._heap, item)
 
     def consider_many(self, dists, pids) -> None:
+        dists = np.asarray(dists, dtype=np.float64).ravel()
+        pids = np.asarray(pids, dtype=np.int64).ravel()
+        if not self.full:
+            # While not yet full every candidate is pushed, so feed the
+            # heap until capacity before filtering the remainder.
+            fill = min(self.k - len(self._heap), len(dists))
+            for i in range(fill):
+                self.consider(dists[i], pids[i])
+            dists = dists[fill:]
+            pids = pids[fill:]
+            if len(dists) == 0:
+                return
+        # Vectorized pre-filter: once the heap is full only candidates at
+        # most the current worst distance can ever be accepted
+        # (worst_distance is non-increasing), so hopeless points never
+        # reach the Python push loop. The filter must be <=, not <: an
+        # equal-distance candidate with a smaller id still replaces the
+        # worst entry under the (distance, id) order.
+        keep = dists <= self.worst_distance
+        if not keep.all():
+            dists = dists[keep]
+            pids = pids[keep]
         for dist, pid in zip(dists, pids):
             self.consider(dist, pid)
 
@@ -223,6 +245,85 @@ class NNIndex(ABC):
         obs.incr("knn.queries")
         return self._query_radius(q, float(radius), exclude)
 
+    # -- batched queries ----------------------------------------------------
+
+    def query_batch(
+        self, Q, k: int, exclude: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Answer ``m`` plain k-NN queries in one call (no tie expansion).
+
+        Parameters
+        ----------
+        Q : (m, d) block of query points.
+        k : neighbors per query.
+        exclude : optional (m,) int array of dataset ids to drop per row
+            (``-1`` entries mean "no exclusion for this row") — the batch
+            analog of the scalar ``exclude`` of :meth:`query`.
+
+        Returns
+        -------
+        ids, distances : (m, k) arrays; row i is the answer for ``Q[i]``
+            in the deterministic (distance, id) order.
+        """
+        Q, exclude, k = self._check_batch(Q, k, exclude)
+        self._count_batch(Q.shape[0])
+        return self._query_batch(Q, k, exclude)
+
+    def query_batch_with_ties(
+        self, Q, k: int, exclude: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Answer ``m`` tie-inclusive k-distance-neighborhood queries.
+
+        The batch analog of :meth:`query_with_ties`: row i contains every
+        point at distance not greater than ``Q[i]``'s k-distance
+        (Definition 4), sorted by (distance, id). Rows are padded to the
+        longest neighborhood with id ``-1`` / distance ``inf`` — the same
+        layout :class:`~repro.core.materialization.MaterializationDB`
+        stores.
+
+        Returns
+        -------
+        ids, distances : (m, L) padded arrays, ``L >= k``.
+        """
+        Q, exclude, k = self._check_batch(Q, k, exclude)
+        self._count_batch(Q.shape[0])
+        return self._query_batch_with_ties(Q, k, exclude)
+
+    def _count_batch(self, m: int) -> None:
+        """One batch call == m logical queries plus one batch crossing."""
+        self.stats.queries += m
+        obs.incr("knn.queries", m)
+        obs.incr("knn.batch_queries")
+
+    def _check_batch(self, Q, k: int, exclude) -> Tuple[np.ndarray, np.ndarray, int]:
+        self._require_fitted()
+        Q = np.asarray(Q, dtype=np.float64)
+        if Q.ndim != 2 or Q.shape[1] != self._X.shape[1]:
+            raise ValidationError(
+                f"Q must be 2-dimensional with {self._X.shape[1]} feature "
+                f"column(s), got shape {np.shape(Q)}"
+            )
+        if Q.shape[0] < 1:
+            raise ValidationError("Q must contain at least one query row")
+        if not np.all(np.isfinite(Q)):
+            raise ValidationError("Q contains NaN or infinite values")
+        if exclude is None:
+            exclude = np.full(Q.shape[0], -1, dtype=np.int64)
+        else:
+            exclude = np.asarray(exclude, dtype=np.int64).reshape(-1)
+            if exclude.shape[0] != Q.shape[0]:
+                raise ValidationError(
+                    f"exclude must have one entry per query row "
+                    f"({Q.shape[0]}), got {exclude.shape[0]}"
+                )
+            if np.any(exclude >= self._X.shape[0]):
+                raise ValidationError(
+                    "exclude contains ids beyond the fitted dataset"
+                )
+        # k is bounded by the worst row: one point fewer when excluded.
+        k = self._check_k(k, 0 if np.any(exclude >= 0) else None)
+        return np.ascontiguousarray(Q), exclude, k
+
     # -- hooks for subclasses ----------------------------------------------
 
     @abstractmethod
@@ -243,6 +344,36 @@ class NNIndex(ABC):
         self, q: np.ndarray, radius: float, exclude: Optional[int]
     ) -> Neighborhood:
         ...
+
+    def _query_batch(
+        self, Q: np.ndarray, k: int, exclude: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Generic fallback for tree/grid backends: one traversal per row.
+        # Every row returns exactly k entries, so no padding is needed.
+        ids = np.empty((Q.shape[0], k), dtype=np.int64)
+        dists = np.empty((Q.shape[0], k), dtype=np.float64)
+        for i in range(Q.shape[0]):
+            excl = int(exclude[i]) if exclude[i] >= 0 else None
+            hood = self._query(Q[i], k, excl)
+            ids[i] = hood.ids
+            dists[i] = hood.distances
+        return ids, dists
+
+    def _query_batch_with_ties(
+        self, Q: np.ndarray, k: int, exclude: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # Generic fallback: per-row traversals, padded to the widest row.
+        hoods = []
+        for i in range(Q.shape[0]):
+            excl = int(exclude[i]) if exclude[i] >= 0 else None
+            hoods.append(self._query_with_ties(Q[i], k, excl))
+        width = max(len(h) for h in hoods)
+        ids = np.full((Q.shape[0], width), -1, dtype=np.int64)
+        dists = np.full((Q.shape[0], width), np.inf, dtype=np.float64)
+        for i, hood in enumerate(hoods):
+            ids[i, : len(hood)] = hood.ids
+            dists[i, : len(hood)] = hood.distances
+        return ids, dists
 
     # -- shared helpers ----------------------------------------------------
 

@@ -10,11 +10,12 @@ every other index against.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .base import Neighborhood, NNIndex, register_index
+from .batch import apply_exclusions, pack_padded, select_tie_inclusive
 
 
 @register_index
@@ -64,3 +65,27 @@ class BruteForceIndex(NNIndex):
         dists = self._distances_to(q, exclude)
         idx = np.flatnonzero(dists <= radius)
         return self._sort_result(idx, dists[idx])
+
+    # -- batched scan: one pairwise matmul + argpartition per call ----------
+
+    def _batch_distances(self, Q: np.ndarray, exclude: np.ndarray) -> np.ndarray:
+        """The whole batch's distance block in a single kernel call —
+        this is what makes the batched brute path O(m·n) work but O(1)
+        Python overhead instead of m sequential scans."""
+        D = self.metric.pairwise(Q, self._X)
+        self.stats.distance_evaluations += Q.shape[0] * self._X.shape[0]
+        apply_exclusions(D, exclude)
+        return D
+
+    def _query_batch(self, Q, k, exclude) -> Tuple[np.ndarray, np.ndarray]:
+        D = self._batch_distances(Q, exclude)
+        flat_ids, flat_dists, counts = select_tie_inclusive(D, k)
+        ids, dists = pack_padded(flat_ids, flat_dists, counts)
+        # The tie-inclusive rows are (distance, id)-sorted, so keeping the
+        # first k matches the per-query truncation semantics exactly.
+        return ids[:, :k], dists[:, :k]
+
+    def _query_batch_with_ties(self, Q, k, exclude) -> Tuple[np.ndarray, np.ndarray]:
+        D = self._batch_distances(Q, exclude)
+        flat_ids, flat_dists, counts = select_tie_inclusive(D, k)
+        return pack_padded(flat_ids, flat_dists, counts)

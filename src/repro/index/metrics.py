@@ -110,6 +110,16 @@ class EuclideanMetric(Metric):
         yy = np.einsum("ij,ij->i", Y, Y)[None, :]
         sq = xx + yy - 2.0 * (X @ Y.T)
         np.maximum(sq, 0.0, out=sq)
+        # Cancellation leaves exact duplicates at ~1 ulp of ||x||^2
+        # instead of 0, which would silently break the paper's duplicate
+        # semantics downstream (lrd = inf needs true zero distances).
+        # Entries that are suspiciously small relative to their scale are
+        # re-checked exactly and snapped to zero — only bitwise-equal
+        # rows are corrected, everything else is untouched.
+        suspect_rows, suspect_cols = np.nonzero(sq <= 1e-10 * np.maximum(xx, yy))
+        if len(suspect_rows):
+            equal = np.all(X[suspect_rows] == Y[suspect_cols], axis=1)
+            sq[suspect_rows[equal], suspect_cols[equal]] = 0.0
         return np.sqrt(sq)
 
     def min_distance_to_rect(self, q, lo, hi):
