@@ -16,7 +16,10 @@ Package layout
 :mod:`repro.core`
     the paper's contribution: Definitions 3-7, the Section 5 bounds,
     the Section 6.2 MinPts-range heuristic and the Section 7.4 two-step
-    algorithm, plus incremental maintenance.
+    algorithm, plus incremental maintenance. Internally layered as
+    index → graph → kernel → surfaces (``docs/architecture.md``): every
+    surface shares one :class:`~repro.core.graph.NeighborhoodGraph` and
+    the :mod:`repro.core.scoring` kernels.
 :mod:`repro.index`
     the k-NN substrates the algorithm runs on: sequential scan, grid,
     kd-tree, ball tree, R*-tree, X-tree and VA-file.
@@ -41,6 +44,7 @@ from .core import (
     IncrementalLOF,
     LocalOutlierFactor,
     MaterializationDB,
+    NeighborhoodGraph,
     OutlierRanking,
     RangeLOFResult,
     k_distance,
@@ -71,6 +75,7 @@ __all__ = [
     "IncrementalLOF",
     "LocalOutlierFactor",
     "MaterializationDB",
+    "NeighborhoodGraph",
     "OutlierRanking",
     "RangeLOFResult",
     "k_distance",

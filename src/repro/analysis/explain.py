@@ -83,17 +83,24 @@ def neighborhood_deviation(
     i: int,
     min_pts: int,
     metric="euclidean",
+    materialization: Optional[MaterializationDB] = None,
 ) -> Explanation:
     """Per-dimension z-score of object i against its MinPts-neighborhood.
 
     ``strength[j] = |x_ij - mean_j(N(i))| / std_j(N(i))`` with the
     convention that a zero neighborhood spread and a nonzero deviation
     yields inf (maximally implicated) and zero deviation yields 0.
+
+    Pass a prebuilt ``materialization`` (covering ``min_pts``) to explain
+    many objects off one shared neighborhood graph instead of rebuilding
+    it per call.
     """
     X = check_data(X, min_rows=3)
     min_pts = check_min_pts(min_pts, X.shape[0])
     i = int(i)
-    mat = MaterializationDB.materialize(X, min_pts, metric=metric)
+    mat = materialization
+    if mat is None:
+        mat = MaterializationDB.materialize(X, min_pts, metric=metric)
     lof = mat.lof(min_pts)
     ids, _ = mat.neighborhood_of(i, min_pts)
     hood = X[ids]

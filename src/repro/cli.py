@@ -136,14 +136,25 @@ def _cmd_topn(args) -> int:
 
 def _cmd_materialize(args) -> int:
     X, _ = load_dataset(args.dataset)
-    mat = MaterializationDB.materialize(
-        X,
-        args.min_pts_ub,
-        index=args.index,
-        metric=args.metric,
-        duplicate_mode=args.duplicate_mode,
-        n_jobs=args.n_jobs,
-    )
+    if args.batched:
+        mat = MaterializationDB.materialize_batched(
+            X,
+            args.min_pts_ub,
+            index=args.index,
+            metric=args.metric,
+            block_size=args.block_size,
+            duplicate_mode=args.duplicate_mode,
+            n_jobs=args.n_jobs,
+        )
+    else:
+        mat = MaterializationDB.materialize(
+            X,
+            args.min_pts_ub,
+            index=args.index,
+            metric=args.metric,
+            duplicate_mode=args.duplicate_mode,
+            n_jobs=args.n_jobs,
+        )
     save_materialization(args.out, mat)
     print(
         f"materialized {mat.n_points} objects x MinPtsUB={mat.min_pts_ub} "
@@ -233,6 +244,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_mat.add_argument(
         "--n-jobs", type=int, default=None, metavar="N",
         help="parallel workers for the query loop (-1 = one per CPU)",
+    )
+    p_mat.add_argument(
+        "--batched", action="store_true",
+        help="build the neighborhood graph through the batched index "
+             "front door (one query_batch_with_ties call per block)",
+    )
+    p_mat.add_argument(
+        "--block-size", type=int, default=512, metavar="B",
+        help="query rows per batched block (default: 512)",
     )
     p_mat.set_defaults(func=_cmd_materialize)
 

@@ -1,5 +1,14 @@
 """The paper's primary contribution: LOF and its supporting notions.
 
+The package layers as index → graph → kernel → surfaces (see
+``docs/architecture.md`` for the full diagram):
+
+* :mod:`~repro.core.graph` — THE columnar neighborhood representation
+  (static :class:`~repro.core.graph.NeighborhoodGraph`, dynamic
+  :class:`~repro.core.graph.DynamicNeighborhoodGraph`, per-k views)
+* :mod:`~repro.core.scoring` — THE vectorized reach-dist/lrd/LOF kernel
+  (the only ratio math outside the naive reference oracle)
+
 Module map (paper anchor in parentheses):
 
 * :mod:`~repro.core.neighbors` — k-distance & k-distance neighborhood (Defs 3-4)
@@ -18,6 +27,7 @@ Module map (paper anchor in parentheses):
 * :mod:`~repro.core.topn` — bound-pruned top-n LOF mining (Section 8)
 * :mod:`~repro.core.streaming` — sliding-window stream detection
 * :mod:`~repro.core.handshake` — shared LOF/OPTICS computation (Section 8)
+* :mod:`~repro.core.reference` — the naive oracle (independent by design)
 """
 
 from .blocked import fast_lof_scores, fast_materialize
@@ -33,6 +43,7 @@ from .bounds import (
 )
 from .duplicates import duplicate_groups, has_min_pts_duplicates, k_distinct_distance
 from .estimator import LocalOutlierFactor
+from .graph import DynamicNeighborhoodGraph, NeighborhoodGraph, NeighborhoodView
 from .handshake import HandshakeResult, lof_optics_handshake
 from .incremental import IncrementalLOF, UpdateReport
 from .streaming import StreamEvent, StreamingLOFDetector
@@ -46,6 +57,7 @@ from .range_lof import RangeLOFResult, lof_range, suggest_min_pts_range
 from .reference import naive_lof, naive_lrd
 from .ranking import OutlierRanking, RankedOutlier, rank_outliers
 from .reachability import reach_dist, reachability_matrix
+from .scoring import lof_values, lrd_values, reach_dist_values
 
 __all__ = [
     "fast_lof_scores",
@@ -62,6 +74,9 @@ __all__ = [
     "has_min_pts_duplicates",
     "k_distinct_distance",
     "LocalOutlierFactor",
+    "DynamicNeighborhoodGraph",
+    "NeighborhoodGraph",
+    "NeighborhoodView",
     "HandshakeResult",
     "lof_optics_handshake",
     "IncrementalLOF",
@@ -90,4 +105,7 @@ __all__ = [
     "rank_outliers",
     "reach_dist",
     "reachability_matrix",
+    "lof_values",
+    "lrd_values",
+    "reach_dist_values",
 ]

@@ -8,7 +8,10 @@ MinPtsUB-nearest rows with vectorized partial sorts. The selection
 itself is loop-free: diagonal exclusion is one fancy-index write, the
 per-block tie-inclusive pick is one ``argpartition`` plus one global
 lexsort (:func:`repro.index.batch.select_tie_inclusive`), and rows are
-scattered straight into the preallocated padded output.
+scattered straight into a :class:`~repro.core.graph.NeighborhoodGraph`
+(:meth:`~repro.core.graph.NeighborhoodGraph.from_csr_blocks`) — this
+module is a thin block builder; storage and scoring live in the shared
+columnar core.
 
 ``fast_materialize`` produces a :class:`MaterializationDB` equivalent
 to the standard path: identical neighbor sets on non-degenerate data
@@ -34,8 +37,14 @@ from .. import obs
 from .._validation import check_data, check_min_pts
 from ..exceptions import ValidationError
 from ..index import get_metric
-from ..index.batch import scatter_padded, select_tie_inclusive
-from .materialization import MaterializationDB
+from ..index.batch import select_tie_inclusive
+from .graph import NeighborhoodGraph
+from .materialization import (
+    MaterializationDB,
+    _check_duplicate_mode,
+    _coord_keys_for,
+    ensure_distinct_coverage,
+)
 from .parallel import map_sharded, resolve_n_jobs
 
 
@@ -49,6 +58,7 @@ def fast_materialize(
     min_pts_ub: int,
     metric="euclidean",
     block_size: int = 512,
+    duplicate_mode: str = "inf",
     n_jobs=None,
 ) -> MaterializationDB:
     """Build M with block-wise vectorized distance computation.
@@ -60,6 +70,10 @@ def fast_materialize(
     metric : any metric with a ``pairwise`` kernel.
     block_size : rows of the distance matrix held at once; the memory
         high-water mark is ``block_size * n * 8`` bytes per worker.
+    duplicate_mode : 'inf' (default), 'distinct' or 'error' — the same
+        policy choices as :meth:`MaterializationDB.materialize`;
+        'distinct' post-extends the few duplicate-saturated rows via
+        :func:`~repro.core.materialization.ensure_distinct_coverage`.
     n_jobs : query-block parallelism — ``None``/1 serial, ``-1`` one
         worker per CPU, otherwise the worker count. Results are
         bit-identical to the serial path for every value.
@@ -67,6 +81,7 @@ def fast_materialize(
     X = check_data(X, min_rows=2)
     n = X.shape[0]
     ub = check_min_pts(min_pts_ub, n, name="min_pts_ub")
+    _check_duplicate_mode(duplicate_mode)
     if block_size < 1:
         raise ValidationError(f"block_size must be >= 1, got {block_size}")
     metric_obj = get_metric(metric)
@@ -82,22 +97,15 @@ def fast_materialize(
         return select_tie_inclusive(D, ub)
 
     with obs.span("materialize.fast"):
-        # Pass 1: every block's tie-inclusive rows in CSR form (possibly
-        # in parallel). Pass 2: the global row width is known only once
-        # all blocks are in, so allocate the padded output at its final
-        # size and scatter each block directly — no list-of-rows, no
-        # re-padding loop.
         blocks = map_sharded(compute_block, _block_bounds(n, block_size), jobs)
-        width = max(int(counts.max()) for _, _, counts in blocks)
-        padded_ids = np.full((n, width), -1, dtype=np.int64)
-        padded_dists = np.full((n, width), np.inf, dtype=np.float64)
-        row_start = 0
-        for flat_ids, flat_dists, counts in blocks:
-            scatter_padded(
-                padded_ids, padded_dists, row_start, flat_ids, flat_dists, counts
-            )
-            row_start += len(counts)
-    return MaterializationDB(padded_ids, padded_dists, min_pts_ub=ub)
+        graph = NeighborhoodGraph.from_csr_blocks(blocks, k_max=ub)
+        coord_keys = None
+        if duplicate_mode == "distinct":
+            coord_keys = _coord_keys_for(X)
+            graph = ensure_distinct_coverage(graph, X, metric, coord_keys, ub)
+    return MaterializationDB.from_graph(
+        graph, duplicate_mode=duplicate_mode, coord_keys=coord_keys
+    )
 
 
 def fast_lof_scores(
@@ -105,9 +113,15 @@ def fast_lof_scores(
     min_pts: int,
     metric="euclidean",
     block_size: int = 512,
+    duplicate_mode: str = "inf",
     n_jobs=None,
 ) -> np.ndarray:
     """LOF via the blocked fast path — identical values, less Python."""
     return fast_materialize(
-        X, min_pts, metric=metric, block_size=block_size, n_jobs=n_jobs
+        X,
+        min_pts,
+        metric=metric,
+        block_size=block_size,
+        duplicate_mode=duplicate_mode,
+        n_jobs=n_jobs,
     ).lof(min_pts)

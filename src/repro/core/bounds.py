@@ -28,6 +28,7 @@ from .._validation import check_data, check_min_pts
 from ..exceptions import ValidationError
 from .materialization import MaterializationDB
 from .reachability import reachability_matrix
+from .scoring import reach_dist_values
 
 
 @dataclass
@@ -64,7 +65,7 @@ def _reach_from(mat: MaterializationDB, i: int, min_pts: int) -> np.ndarray:
     """reach-dist(i, o) for every o in N_MinPts(i)."""
     ids, dists = mat.neighborhood_of(i, min_pts)
     kdist = mat.k_distances(min_pts)
-    return np.maximum(kdist[ids], dists)
+    return reach_dist_values(dists, kdist[ids])
 
 
 def direct_bounds(
@@ -164,7 +165,7 @@ def theorem2_bounds(
             f"partition_labels misses neighbors of object {i}: {missing[:5]}"
         )
     kdist = mat.k_distances(min_pts)
-    reach_direct = np.maximum(kdist[ids], dists)
+    reach_direct = reach_dist_values(dists, kdist[ids])
     labels = np.array([partition_labels[int(q)] for q in ids])
     unique_labels = np.unique(labels)
     n_hood = len(ids)

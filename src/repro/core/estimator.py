@@ -56,6 +56,9 @@ class LocalOutlierFactor:
     lof_matrix_ : (m, n) per-MinPts LOF values (m = 1 for a single value).
     min_pts_values_ : the (m,) MinPts grid.
     materialization_ : the underlying :class:`MaterializationDB`.
+    graph_ : the shared :class:`~repro.core.graph.NeighborhoodGraph`
+        behind it — built once per fit; every MinPts in the sweep reads
+        per-k views of this one structure.
     profile_ : instrumentation snapshot of the fit (None unless
         ``profile=True``).
 
@@ -161,6 +164,11 @@ class LocalOutlierFactor:
     @property
     def min_pts_values_(self) -> np.ndarray:
         return self._require_fitted().min_pts_values
+
+    @property
+    def graph_(self):
+        self._require_fitted()
+        return self.materialization_.graph
 
     def predict(self) -> np.ndarray:
         """+1 for inliers, -1 for objects with score > ``threshold``."""

@@ -33,6 +33,7 @@ import numpy as np
 from .._validation import check_data, check_min_pts
 from ..exceptions import ValidationError
 from ..index import get_metric
+from .graph import NeighborhoodGraph
 from .materialization import MaterializationDB
 
 
@@ -113,14 +114,16 @@ def lof_optics_handshake(
     metric_obj = get_metric(metric)
     n = X.shape[0]
 
-    mat = MaterializationDB.materialize(X, min_pts, index=index, metric=metric)
-    lof = mat.lof(min_pts)
+    # ONE neighborhood graph is the entire shared computation: LOF scans
+    # it through the materialization layer, OPTICS reads the same views.
+    graph = NeighborhoodGraph.from_index(X, min_pts, index=index, metric=metric)
+    lof = MaterializationDB.from_graph(graph).lof(min_pts)
 
     # OPTICS core distance, self-inclusive convention: distance to the
     # (min_pts - 1)-th other object; for min_pts == 1 every point is
     # trivially core at distance 0.
     if min_pts >= 2:
-        core = mat.k_distances(min_pts - 1).copy()
+        core = graph.k_distances(min_pts - 1).copy()
     else:
         core = np.zeros(n)
 
@@ -139,7 +142,7 @@ def lof_optics_handshake(
         def update_from(center: int) -> None:
             nonlocal counter
             # Materialized neighbors first (the shared computation)...
-            ids, dists = mat.neighborhood_of(center, min_pts)
+            ids, dists = graph.neighborhood_of(center, min_pts)
             candidates = dict(zip((int(i) for i in ids), dists))
             # ...completed with the remaining unprocessed objects so the
             # ordering is the unbounded-eps one (every object reachable).

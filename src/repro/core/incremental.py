@@ -12,26 +12,35 @@ removing one object only changes
 * the LOF of objects whose own lrd changed or that have such an object
   in their neighborhood.
 
-:class:`IncrementalLOF` maintains exactly those dependency layers and
-recomputes only the affected objects, tracking how many were touched so
-tests and benchmarks can verify the update stays local. Scores always
-match a from-scratch recomputation (the test suite asserts this to
-1e-9).
+:class:`IncrementalLOF` maintains exactly those dependency layers in a
+:class:`~repro.core.graph.DynamicNeighborhoodGraph` and recomputes only
+the affected objects — each layer as ONE vectorized pass through the
+dirty-subset kernels :func:`repro.core.scoring.lrd_of` /
+:func:`~repro.core.scoring.lof_of`, not per-object Python math. Because
+those are the same ``np.add.reduceat`` kernels the batch surfaces use,
+maintained scores match :meth:`MaterializationDB.lof` bit-for-bit
+(including the inf/inf := 1 convention on duplicate-heavy data), and the
+tracked :class:`UpdateReport` lets tests and benchmarks verify the
+update stays local.
 
-Ties are honored the same way as the batch path (Definition 4), and the
+Ties are honored the same way as the batch path (Definition 4, via the
+shared :func:`repro.index.batch.tie_inclusive_row` selection), and the
 duplicate convention is the batch ``'inf'`` mode.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 import numpy as np
 
 from .._validation import check_data, check_min_pts
 from ..exceptions import NotFittedError, ValidationError
 from ..index import get_metric
+from ..index.batch import tie_inclusive_row
+from . import scoring
+from .graph import DynamicNeighborhoodGraph
 
 
 @dataclass
@@ -62,10 +71,8 @@ class IncrementalLOF:
         self.metric = get_metric(metric)
         self._points: Dict[int, np.ndarray] = {}
         self._next_handle = 0
-        self._neighbors: Dict[int, np.ndarray] = {}       # handle -> neighbor handles
-        self._neighbor_dists: Dict[int, np.ndarray] = {}
-        self._kdist: Dict[int, float] = {}
-        self._lrd: Dict[int, float] = {}
+        self._graph = DynamicNeighborhoodGraph(self.min_pts)
+        self._lrd = np.full(0, np.nan, dtype=np.float64)  # dense, by handle
         self._lof: Dict[int, float] = {}
         self._reverse: Dict[int, Set[int]] = {}           # handle -> who lists it
 
@@ -87,19 +94,15 @@ class IncrementalLOF:
         handles = list(self._points)
         if len(handles) <= self.min_pts:
             # Not enough points for any neighborhood yet; scores undefined.
-            self._neighbors.clear()
-            self._kdist.clear()
-            self._lrd.clear()
+            self._graph.clear()
             self._lof.clear()
             self._reverse = {h: set() for h in handles}
             return
         self._reverse = {h: set() for h in handles}
         for h in handles:
             self._refresh_neighborhood(h)
-        for h in handles:
-            self._refresh_lrd(h)
-        for h in handles:
-            self._refresh_lof(h)
+        self._refresh_lrd(handles)
+        self._refresh_lof(handles)
 
     # -- public state ---------------------------------------------------------
 
@@ -140,41 +143,40 @@ class IncrementalLOF:
         pos = handles.index(h)
         dists = self.metric.pairwise_to_point(X, self._points[h])
         dists[pos] = np.inf
-        k = self.min_pts
-        kth = np.partition(dists, k - 1)[k - 1]
-        members = np.flatnonzero(dists <= kth)
-        order = np.lexsort((members, dists[members]))
-        members = members[order]
-        old = self._neighbors.get(h)
-        if old is not None:
-            for o in old:
-                self._reverse.get(int(o), set()).discard(h)
-        self._neighbors[h] = np.array([handles[m] for m in members], dtype=int)
-        self._neighbor_dists[h] = dists[members]
-        self._kdist[h] = float(kth)
-        for o in self._neighbors[h]:
+        # Shared Definition-4 selection: closed k-distance ball, ties
+        # included, deterministic (distance, id) order. Positional order
+        # equals handle order because ``handles`` is sorted.
+        members, kth = tie_inclusive_row(dists, self.min_pts)
+        old_ids = self._graph.row(h)[0] if h in self._graph else ()
+        for o in old_ids:
+            self._reverse.get(int(o), set()).discard(h)
+        neighbor_handles = np.array([handles[m] for m in members], dtype=np.int64)
+        self._graph.set_row(h, neighbor_handles, dists[members], kth)
+        for o in neighbor_handles:
             self._reverse.setdefault(int(o), set()).add(h)
 
-    def _refresh_lrd(self, h: int) -> None:
-        reach = np.maximum(
-            np.array([self._kdist[int(o)] for o in self._neighbors[h]]),
-            self._neighbor_dists[h],
-        )
-        total = float(reach.sum())
-        self._lrd[h] = np.inf if total == 0.0 else len(reach) / total
+    def _ensure_lrd_capacity(self, max_handle: int) -> None:
+        if max_handle >= len(self._lrd):
+            grown = np.full(max(max_handle + 1, 2 * len(self._lrd) + 1), np.nan)
+            grown[: len(self._lrd)] = self._lrd
+            self._lrd = grown
 
-    def _refresh_lof(self, h: int) -> None:
-        lrd_p = self._lrd[h]
-        ratios = []
-        for o in self._neighbors[h]:
-            lrd_o = self._lrd[int(o)]
-            if np.isinf(lrd_o) and np.isinf(lrd_p):
-                ratios.append(1.0)
-            elif np.isinf(lrd_p):
-                ratios.append(0.0)
-            else:
-                ratios.append(lrd_o / lrd_p)
-        self._lof[h] = float(np.mean(ratios))
+    def _refresh_lrd(self, dirty) -> np.ndarray:
+        """One vectorized kernel pass over the dirty rows."""
+        rows = np.array(sorted(dirty), dtype=np.int64)
+        if len(rows):
+            self._ensure_lrd_capacity(int(rows.max()))
+            self._lrd[rows] = scoring.lrd_of(self._graph, rows)
+        return rows
+
+    def _refresh_lof(self, dirty) -> np.ndarray:
+        """One vectorized kernel pass over the dirty rows."""
+        rows = np.array(sorted(dirty), dtype=np.int64)
+        if len(rows):
+            values = scoring.lof_of(self._graph, rows, self._lrd)
+            for h, v in zip(rows, values):
+                self._lof[int(h)] = float(v)
+        return rows
 
     # -- updates -----------------------------------------------------------------
 
@@ -216,7 +218,7 @@ class IncrementalLOF:
         for pos, other in enumerate(handles):
             if other == h:
                 continue
-            if dists[pos] <= self._kdist[other]:
+            if dists[pos] <= self._graph.kdist_of(other):
                 affected.add(other)
         self._propagate(affected)
         return h
@@ -227,13 +229,13 @@ class IncrementalLOF:
             raise KeyError(f"unknown handle {handle}")
         # Objects that listed the deleted point must re-query.
         affected = set(self._reverse.get(handle, set()))
-        for o in self._neighbors.get(handle, ()):
-            self._reverse.get(int(o), set()).discard(handle)
+        if handle in self._graph:
+            for o in self._graph.row(handle)[0]:
+                self._reverse.get(int(o), set()).discard(handle)
         self._points.pop(handle)
-        self._neighbors.pop(handle, None)
-        self._neighbor_dists.pop(handle, None)
-        self._kdist.pop(handle, None)
-        self._lrd.pop(handle, None)
+        self._graph.drop_row(handle)
+        if handle < len(self._lrd):
+            self._lrd[handle] = np.nan
         self._lof.pop(handle, None)
         self._reverse.pop(handle, None)
         if len(self._points) <= self.min_pts:
@@ -245,23 +247,22 @@ class IncrementalLOF:
 
     def _propagate(self, changed_hoods: Set[int]) -> None:
         """Recompute the three dependency layers outward from the objects
-        whose neighborhoods changed."""
-        for h in changed_hoods:
+        whose neighborhoods changed — each density layer one batched
+        kernel call over exactly the dirty subset."""
+        for h in sorted(changed_hoods):
             self._refresh_neighborhood(h)
         # lrd(p) depends on p's neighborhood and on kdist of its members.
         lrd_dirty = set(changed_hoods)
         for h in changed_hoods:
             lrd_dirty |= self._reverse.get(h, set())
         lrd_dirty &= set(self._points)
-        for h in lrd_dirty:
-            self._refresh_lrd(h)
+        self._refresh_lrd(lrd_dirty)
         # LOF(p) depends on lrd(p) and on lrd of p's neighbors.
         lof_dirty = set(lrd_dirty)
         for h in lrd_dirty:
             lof_dirty |= self._reverse.get(h, set())
         lof_dirty &= set(self._points)
-        for h in lof_dirty:
-            self._refresh_lof(h)
+        self._refresh_lof(lof_dirty)
         self.last_report = UpdateReport(
             changed_neighborhoods=len(changed_hoods),
             changed_lrd=len(lrd_dirty),

@@ -10,7 +10,10 @@ its neighbors — a local outlier.
 
 This module is the single-MinPts functional entry point. The range
 heuristic of Section 6.2 lives in :mod:`repro.core.range_lof`; the
-object-oriented interface in :mod:`repro.core.estimator`.
+object-oriented interface in :mod:`repro.core.estimator`. The ratio
+arithmetic itself lives in ONE place, :mod:`repro.core.scoring`, which
+every surface (including this one, via the materialization layer)
+shares — see ``docs/architecture.md``.
 """
 
 from __future__ import annotations

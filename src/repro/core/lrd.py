@@ -8,7 +8,8 @@ to its MinPts-nearest neighbors:
 It can be infinite when at least MinPts duplicates of p exist (every
 reachability distance 0); see
 :mod:`repro.core.materialization` for the three supported duplicate
-policies.
+policies. The density division itself is implemented once, in
+:func:`repro.core.scoring.lrd_values`.
 """
 
 from __future__ import annotations

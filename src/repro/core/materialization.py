@@ -14,11 +14,12 @@ Section 7.4 of the paper describes the production algorithm:
     (Definition 7). The original database D is not needed. Each scan is
     O(n).
 
-:class:`MaterializationDB` is that database M. It stores, per object, the
-tie-inclusive MinPtsUB-distance neighborhood sorted by distance, and
-answers ``k_distances(k)``, ``lrd(k)`` and ``lof(k)`` for any
-``k <= MinPtsUB`` using only the stored rows — exactly the paper's
-separation of concerns.
+:class:`MaterializationDB` is that database M — since the columnar
+refactor, a thin *policy layer*: neighborhood storage and per-k slice
+views live in :class:`~repro.core.graph.NeighborhoodGraph`, all lrd/LOF
+arithmetic in the :mod:`~repro.core.scoring` kernels, and this class
+adds the duplicate-mode policy, per-MinPts caching and persistence
+metadata on top.
 
 Tie semantics follow Definition 4: the k-distance neighborhood contains
 *every* object at distance not greater than the k-distance, so rows can
@@ -48,11 +49,32 @@ import numpy as np
 
 from .. import obs
 from .._validation import check_data, check_min_pts
-from ..exceptions import DuplicatePointsError, ValidationError
+from ..exceptions import ValidationError
 from ..index import NNIndex, make_index
+from . import scoring
+from .graph import NeighborhoodGraph
 from .parallel import map_sharded, resolve_n_jobs
 
 _DUPLICATE_MODES = ("inf", "distinct", "error")
+
+
+def _check_duplicate_mode(duplicate_mode: str) -> str:
+    if duplicate_mode not in _DUPLICATE_MODES:
+        raise ValidationError(
+            f"duplicate_mode must be one of {_DUPLICATE_MODES}, got {duplicate_mode!r}"
+        )
+    return duplicate_mode
+
+
+def _coord_keys_for(X: np.ndarray) -> np.ndarray:
+    """Exact-coordinate group keys for the 'distinct' duplicate policy."""
+    _, coord_keys = np.unique(X, axis=0, return_inverse=True)
+    coord_keys = coord_keys.astype(np.int64)
+    if np.max(np.bincount(coord_keys)) == X.shape[0]:
+        raise ValidationError(
+            "all points are identical; no distinct neighborhood exists"
+        )
+    return coord_keys
 
 
 class MaterializationDB:
@@ -66,9 +88,11 @@ class MaterializationDB:
     Attributes
     ----------
     n_points, min_pts_ub, duplicate_mode : as constructed.
+    graph : the underlying :class:`~repro.core.graph.NeighborhoodGraph`
+        holding the columnar neighborhood storage and per-k views.
     padded_ids, padded_dists : (n, L) arrays padded with -1 / +inf; row i
         holds the tie-inclusive ``min_pts_ub``-distance neighborhood of
-        object i sorted by (distance, id).
+        object i sorted by (distance, id). Views into ``graph``.
     """
 
     def __init__(
@@ -79,23 +103,53 @@ class MaterializationDB:
         duplicate_mode: str = "inf",
         coord_keys: Optional[np.ndarray] = None,
     ):
-        if duplicate_mode not in _DUPLICATE_MODES:
-            raise ValidationError(
-                f"duplicate_mode must be one of {_DUPLICATE_MODES}, got {duplicate_mode!r}"
-            )
+        _check_duplicate_mode(duplicate_mode)
         if duplicate_mode == "distinct" and coord_keys is None:
             raise ValidationError("duplicate_mode='distinct' requires coord_keys")
-        self.padded_ids = padded_ids
-        self.padded_dists = padded_dists
+        self.graph = NeighborhoodGraph(padded_ids, padded_dists, k_max=min_pts_ub)
         self.min_pts_ub = int(min_pts_ub)
         self.duplicate_mode = duplicate_mode
         self.coord_keys = coord_keys
-        self.n_points = padded_ids.shape[0]
-        self._row_lengths = (padded_ids >= 0).sum(axis=1)
+        self.n_points = self.graph.n_points
         self._kdist_cache: Dict[int, np.ndarray] = {}
-        self._csr_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         self._lrd_cache: Dict[int, np.ndarray] = {}
         self._lof_cache: Dict[int, np.ndarray] = {}
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: NeighborhoodGraph,
+        duplicate_mode: str = "inf",
+        coord_keys: Optional[np.ndarray] = None,
+    ) -> "MaterializationDB":
+        """Wrap a prebuilt neighborhood graph in the database policy layer."""
+        db = cls.__new__(cls)
+        _check_duplicate_mode(duplicate_mode)
+        if duplicate_mode == "distinct" and coord_keys is None:
+            raise ValidationError("duplicate_mode='distinct' requires coord_keys")
+        db.graph = graph
+        db.min_pts_ub = graph.k_max
+        db.duplicate_mode = duplicate_mode
+        db.coord_keys = coord_keys
+        db.n_points = graph.n_points
+        db._kdist_cache = {}
+        db._lrd_cache = {}
+        db._lof_cache = {}
+        return db
+
+    # -- columnar storage (delegated to the graph) ---------------------------
+
+    @property
+    def padded_ids(self) -> np.ndarray:
+        return self.graph.padded_ids
+
+    @property
+    def padded_dists(self) -> np.ndarray:
+        return self.graph.padded_dists
+
+    @property
+    def _row_lengths(self) -> np.ndarray:
+        return self.graph.row_lengths
 
     # -- construction --------------------------------------------------------
 
@@ -122,20 +176,75 @@ class MaterializationDB:
         X = check_data(X, min_rows=2)
         n = X.shape[0]
         ub = check_min_pts(min_pts_ub, n, name="min_pts_ub")
-        if duplicate_mode not in _DUPLICATE_MODES:
-            raise ValidationError(
-                f"duplicate_mode must be one of {_DUPLICATE_MODES}, got {duplicate_mode!r}"
-            )
-        jobs = resolve_n_jobs(n_jobs)
-        coord_keys = None
-        if duplicate_mode == "distinct":
-            _, coord_keys = np.unique(X, axis=0, return_inverse=True)
-            coord_keys = coord_keys.astype(np.int64)
-            if np.max(np.bincount(coord_keys)) == n:
-                raise ValidationError(
-                    "all points are identical; no distinct neighborhood exists"
+        _check_duplicate_mode(duplicate_mode)
+        with obs.span("materialize.query_loop"):
+            if duplicate_mode == "distinct":
+                coord_keys = _coord_keys_for(X)
+                graph = cls._materialize_distinct_loop(
+                    X, ub, index, metric, coord_keys, n_jobs
                 )
+            else:
+                coord_keys = None
+                graph = NeighborhoodGraph.from_index(
+                    X, ub, index=index, metric=metric, n_jobs=n_jobs
+                )
+        return cls.from_graph(
+            graph, duplicate_mode=duplicate_mode, coord_keys=coord_keys
+        )
 
+    @classmethod
+    def materialize_batched(
+        cls,
+        X,
+        min_pts_ub: int,
+        index="brute",
+        metric="euclidean",
+        block_size: int = 512,
+        duplicate_mode: str = "inf",
+        n_jobs=None,
+    ) -> "MaterializationDB":
+        """Step 1 through the batched index front door.
+
+        Issues one :meth:`~repro.index.NNIndex.query_batch_with_ties`
+        call per block of ``block_size`` query rows instead of one
+        Python-level query per object — O(n / block_size) front-door
+        crossings, and on the brute backend O(n / block_size) distance
+        kernel invocations. Neighbor sets, tie handling and the
+        (distance, id) order are identical to :meth:`materialize`; on
+        the brute backend distances match
+        :func:`~repro.core.blocked.fast_materialize` bit-for-bit at equal
+        ``block_size``. ``duplicate_mode='distinct'`` post-extends the
+        few rows whose plain neighborhoods do not cover MinPtsUB
+        distinct locations (see :func:`ensure_distinct_coverage`).
+        """
+        X = check_data(X, min_rows=2)
+        n = X.shape[0]
+        ub = check_min_pts(min_pts_ub, n, name="min_pts_ub")
+        _check_duplicate_mode(duplicate_mode)
+        with obs.span("materialize.batched"):
+            graph = NeighborhoodGraph.from_index_batched(
+                X,
+                ub,
+                index=index,
+                metric=metric,
+                block_size=block_size,
+                n_jobs=n_jobs,
+            )
+            coord_keys = None
+            if duplicate_mode == "distinct":
+                coord_keys = _coord_keys_for(X)
+                graph = ensure_distinct_coverage(graph, X, metric, coord_keys, ub)
+        return cls.from_graph(
+            graph, duplicate_mode=duplicate_mode, coord_keys=coord_keys
+        )
+
+    @classmethod
+    def _materialize_distinct_loop(
+        cls, X, ub, index, metric, coord_keys, n_jobs
+    ) -> NeighborhoodGraph:
+        """The per-object query loop under the k-distinct-distance policy."""
+        n = X.shape[0]
+        jobs = resolve_n_jobs(n_jobs)
         nn_index = make_index(index, metric=metric)
         if not nn_index.is_fitted:
             nn_index.fit(X)
@@ -149,93 +258,18 @@ class MaterializationDB:
             shard_dists: List[np.ndarray] = []
             for i in ids:
                 i = int(i)
-                if duplicate_mode == "distinct":
-                    hood = cls._distinct_neighborhood(
-                        nn_index, X[i], i, ub, coord_keys
-                    )
-                else:
-                    hood = nn_index.query_with_ties(X[i], ub, exclude=i)
+                hood = cls._distinct_neighborhood(nn_index, X[i], i, ub, coord_keys)
                 shard_ids.append(hood.ids.astype(np.int64))
                 shard_dists.append(hood.distances.astype(np.float64))
             return shard_ids, shard_dists
 
         rows_ids: List[np.ndarray] = []
         rows_dists: List[np.ndarray] = []
-        with obs.span("materialize.query_loop"):
-            shards = np.array_split(np.arange(n), jobs) if jobs > 1 else [range(n)]
-            for shard_ids, shard_dists in map_sharded(query_shard, shards, jobs):
-                rows_ids.extend(shard_ids)
-                rows_dists.extend(shard_dists)
-
-        width = max(len(r) for r in rows_ids)
-        padded_ids = np.full((n, width), -1, dtype=np.int64)
-        padded_dists = np.full((n, width), np.inf, dtype=np.float64)
-        for i, (ids, dists) in enumerate(zip(rows_ids, rows_dists)):
-            padded_ids[i, : len(ids)] = ids
-            padded_dists[i, : len(dists)] = dists
-        return cls(
-            padded_ids,
-            padded_dists,
-            min_pts_ub=ub,
-            duplicate_mode=duplicate_mode,
-            coord_keys=coord_keys,
-        )
-
-    @classmethod
-    def materialize_batched(
-        cls,
-        X,
-        min_pts_ub: int,
-        index="brute",
-        metric="euclidean",
-        block_size: int = 512,
-        n_jobs=None,
-    ) -> "MaterializationDB":
-        """Step 1 through the batched index front door.
-
-        Issues one :meth:`~repro.index.NNIndex.query_batch_with_ties`
-        call per block of ``block_size`` query rows instead of one
-        Python-level query per object — O(n / block_size) front-door
-        crossings, and on the brute backend O(n / block_size) distance
-        kernel invocations. Neighbor sets, tie handling and the
-        (distance, id) order are identical to :meth:`materialize`
-        (duplicate mode ``'inf'``); on the brute backend distances match
-        :func:`~repro.core.blocked.fast_materialize` bit-for-bit at equal
-        ``block_size``.
-        """
-        X = check_data(X, min_rows=2)
-        n = X.shape[0]
-        ub = check_min_pts(min_pts_ub, n, name="min_pts_ub")
-        if block_size < 1:
-            raise ValidationError(f"block_size must be >= 1, got {block_size}")
-        jobs = resolve_n_jobs(n_jobs)
-
-        nn_index = make_index(index, metric=metric)
-        if not nn_index.is_fitted:
-            nn_index.fit(X)
-        elif nn_index.n_points != n:
-            raise ValidationError(
-                "a pre-fitted index must be fitted on the same dataset"
-            )
-
-        def query_block(bounds):
-            start, stop = bounds
-            return nn_index.query_batch_with_ties(
-                X[start:stop], ub, exclude=np.arange(start, stop)
-            )
-
-        bounds = [
-            (s, min(s + block_size, n)) for s in range(0, n, block_size)
-        ]
-        with obs.span("materialize.batched"):
-            blocks = map_sharded(query_block, bounds, jobs)
-            width = max(ids.shape[1] for ids, _ in blocks)
-            padded_ids = np.full((n, width), -1, dtype=np.int64)
-            padded_dists = np.full((n, width), np.inf, dtype=np.float64)
-            for (start, stop), (ids, dists) in zip(bounds, blocks):
-                padded_ids[start:stop, : ids.shape[1]] = ids
-                padded_dists[start:stop, : dists.shape[1]] = dists
-        return cls(padded_ids, padded_dists, min_pts_ub=ub)
+        shards = np.array_split(np.arange(n), jobs) if jobs > 1 else [range(n)]
+        for shard_ids, shard_dists in map_sharded(query_shard, shards, jobs):
+            rows_ids.extend(shard_ids)
+            rows_dists.extend(shard_dists)
+        return NeighborhoodGraph.from_rows(rows_ids, rows_dists, k_max=ub)
 
     @staticmethod
     def _distinct_neighborhood(nn_index: NNIndex, q, self_id: int, k: int, coord_keys):
@@ -283,14 +317,15 @@ class MaterializationDB:
             if self.duplicate_mode == "distinct":
                 self._kdist_cache[k] = self._distinct_k_distances(k)
             else:
-                self._kdist_cache[k] = self.padded_dists[:, k - 1].copy()
+                self._kdist_cache[k] = self.graph.k_distances(k)
         return self._kdist_cache[k]
 
     def _distinct_k_distances(self, k: int) -> np.ndarray:
         out = np.empty(self.n_points)
+        row_lengths = self.graph.row_lengths
         for i in range(self.n_points):
-            dists = self.padded_dists[i, : self._row_lengths[i]]
-            ids = self.padded_ids[i, : self._row_lengths[i]]
+            dists = self.padded_dists[i, : row_lengths[i]]
+            ids = self.padded_ids[i, : row_lengths[i]]
             seen: set = set()
             kdist = None
             for pid, dist in zip(ids, dists):
@@ -312,31 +347,29 @@ class MaterializationDB:
 
     # -- Definition 4: neighborhoods (CSR layout for vectorized math) ----------
 
+    def view(self, min_pts: int):
+        """The per-MinPts :class:`~repro.core.graph.NeighborhoodView`.
+
+        Under the 'distinct' policy the cutoff radii are the
+        k-distinct-distances rather than the plain k-distances.
+        """
+        k = self._check_k(min_pts)
+        if self.duplicate_mode == "distinct":
+            return self.graph.view(k, kdist=self.k_distances(k))
+        return self.graph.view(k)
+
     def neighborhoods(self, min_pts: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Tie-inclusive MinPts-distance neighborhoods of all objects.
 
         Returns ``(flat_ids, flat_dists, offsets)`` in CSR form: the
         neighborhood of object i is ``flat_ids[offsets[i]:offsets[i+1]]``.
         """
-        k = self._check_k(min_pts)
-        if k not in self._csr_cache:
-            kdist = self.k_distances(k)
-            mask = self.padded_dists <= kdist[:, None]
-            counts = mask.sum(axis=1)
-            offsets = np.zeros(self.n_points + 1, dtype=np.int64)
-            np.cumsum(counts, out=offsets[1:])
-            self._csr_cache[k] = (
-                self.padded_ids[mask],
-                self.padded_dists[mask],
-                offsets,
-            )
-        return self._csr_cache[k]
+        view = self.view(min_pts)
+        return view.ids, view.dists, view.offsets
 
     def neighborhood_of(self, i: int, min_pts: int) -> Tuple[np.ndarray, np.ndarray]:
         """Ids and distances of N_MinPts(i), sorted by (distance, id)."""
-        flat_ids, flat_dists, offsets = self.neighborhoods(min_pts)
-        sl = slice(offsets[i], offsets[i + 1])
-        return flat_ids[sl], flat_dists[sl]
+        return self.view(min_pts).row(int(i))
 
     # -- Definition 5/6: reachability distances and lrd -------------------------
 
@@ -347,38 +380,32 @@ class MaterializationDB:
         :meth:`neighborhoods`.
         """
         k = self._check_k(min_pts)
-        flat_ids, flat_dists, offsets = self.neighborhoods(k)
+        view = self.view(k)
         kdist = self.k_distances(k)
-        return np.maximum(kdist[flat_ids], flat_dists), offsets
+        return scoring.reach_dist_values(view.dists, kdist[view.ids]), view.offsets
 
     def lrd(self, min_pts: int) -> np.ndarray:
         """Local reachability density of every object (Definition 6).
 
-        This is the first O(n) scan of step 2.
+        This is the first O(n) scan of step 2, one
+        :func:`repro.core.scoring.lrd_values` kernel pass.
         """
         k = self._check_k(min_pts)
         if k not in self._lrd_cache:
             obs.incr("mscan.passes")
             flat_reach, offsets = self.reach_dists(k)
-            counts = np.diff(offsets).astype(np.float64)
-            sums = np.add.reduceat(flat_reach, offsets[:-1])
-            with np.errstate(divide="ignore"):
-                lrd = counts / sums
-            if self.duplicate_mode == "error" and np.any(np.isinf(lrd)):
-                bad = int(np.flatnonzero(np.isinf(lrd))[0])
-                raise DuplicatePointsError(
-                    f"object {bad} has at least MinPts={k} duplicates; its "
-                    f"local reachability density is infinite "
-                    f"(use duplicate_mode='distinct' or 'inf')"
-                )
-            self._lrd_cache[k] = lrd
+            self._lrd_cache[k] = scoring.lrd_values(
+                flat_reach, offsets, duplicate_mode=self.duplicate_mode
+            )
         return self._lrd_cache[k]
 
     def lof(self, min_pts: int) -> np.ndarray:
         """Local outlier factor of every object (Definition 7).
 
-        This is the second O(n) scan of step 2. Ratio convention for
-        duplicate-heavy data in mode 'inf': inf/inf := 1, finite/inf := 0.
+        This is the second O(n) scan of step 2, one
+        :func:`repro.core.scoring.lof_values` kernel pass. Ratio
+        convention for duplicate-heavy data in mode 'inf':
+        inf/inf := 1, finite/inf := 0.
 
         Results are cached per ``min_pts`` (like k-distances and lrd), so
         a repeated call — e.g. the Section 6.2 max-LOF sweep revisiting a
@@ -389,16 +416,8 @@ class MaterializationDB:
         if k not in self._lof_cache:
             lrd = self.lrd(k)
             obs.incr("mscan.passes")
-            flat_ids, _, offsets = self.neighborhoods(k)
-            counts = np.diff(offsets).astype(np.float64)
-            lrd_neighbors = lrd[flat_ids]
-            lrd_self = np.repeat(lrd, np.diff(offsets))
-            with np.errstate(divide="ignore", invalid="ignore"):
-                ratios = lrd_neighbors / lrd_self
-            # inf/inf produces NaN; the convention for co-located points is 1.
-            both_inf = np.isinf(lrd_neighbors) & np.isinf(lrd_self)
-            ratios[both_inf] = 1.0
-            self._lof_cache[k] = np.add.reduceat(ratios, offsets[:-1]) / counts
+            view = self.view(k)
+            self._lof_cache[k] = scoring.lof_values(lrd, lrd[view.ids], view.offsets)
         return self._lof_cache[k]
 
     def lof_range(self, min_pts_lb: int, min_pts_ub: int) -> Dict[int, np.ndarray]:
@@ -414,7 +433,7 @@ class MaterializationDB:
     def size_in_records(self) -> int:
         """Number of (id, distance) records stored — the paper's n·MinPtsUB
         figure, plus any tie overhang."""
-        return int(self._row_lengths.sum())
+        return self.graph.size_in_records()
 
     def _check_k(self, min_pts: int) -> int:
         k = check_min_pts(min_pts, self.n_points)
@@ -430,6 +449,70 @@ class MaterializationDB:
             f"MaterializationDB(n={self.n_points}, min_pts_ub={self.min_pts_ub}, "
             f"records={self.size_in_records()}, mode={self.duplicate_mode!r})"
         )
+
+
+def ensure_distinct_coverage(
+    graph: NeighborhoodGraph,
+    X: np.ndarray,
+    metric,
+    coord_keys: np.ndarray,
+    k: int,
+) -> NeighborhoodGraph:
+    """Extend rows that do not cover ``k`` distinct coordinate locations.
+
+    A plain tie-inclusive k-NN row already covers the k-distinct-distance
+    ball whenever it contains ``k`` distinct (positive-distance)
+    locations — the k-th distinct location sits within the row's radius,
+    and tie inclusion guarantees the row holds *every* point inside it.
+    Only duplicate-saturated rows fall short; those few are recomputed
+    from an exact full-row distance scan, so the blocked/batched builders
+    can serve ``duplicate_mode='distinct'`` without per-object probing.
+    """
+    from ..index import get_metric
+
+    metric_obj = get_metric(metric)
+    deficient: List[int] = []
+    for i in range(graph.n_points):
+        length = graph.row_lengths[i]
+        ids = graph.padded_ids[i, :length]
+        dists = graph.padded_dists[i, :length]
+        positive = dists > 0.0
+        if len(np.unique(coord_keys[ids[positive]])) < k:
+            deficient.append(i)
+    if not deficient:
+        return graph
+    n = graph.n_points
+    distinct_available = len(np.unique(coord_keys)) - 1
+    if k > distinct_available:
+        raise ValidationError(
+            f"fewer than k={k} distinct coordinate locations exist"
+        )
+    rows_ids = [
+        graph.padded_ids[i, : graph.row_lengths[i]] for i in range(n)
+    ]
+    rows_dists = [
+        graph.padded_dists[i, : graph.row_lengths[i]] for i in range(n)
+    ]
+    for i in deficient:
+        dists = metric_obj.pairwise(X[i : i + 1], X)[0]
+        dists[i] = np.inf
+        order = np.lexsort((np.arange(n), dists))
+        seen: set = set()
+        radius = None
+        for j in order:
+            if dists[j] <= 0.0 or not np.isfinite(dists[j]):
+                continue
+            key = int(coord_keys[j])
+            if key not in seen:
+                seen.add(key)
+                if len(seen) == k:
+                    radius = dists[j]
+                    break
+        members = np.flatnonzero(dists <= radius)
+        sub_order = np.lexsort((members, dists[members]))
+        rows_ids[i] = members[sub_order].astype(np.int64)
+        rows_dists[i] = dists[members][sub_order]
+    return NeighborhoodGraph.from_rows(rows_ids, rows_dists, k_max=k)
 
 
 def materialize(
@@ -457,6 +540,7 @@ def materialize_batched(
     index="brute",
     metric="euclidean",
     block_size: int = 512,
+    duplicate_mode: str = "inf",
     n_jobs=None,
 ) -> MaterializationDB:
     """Convenience alias for :meth:`MaterializationDB.materialize_batched`."""
@@ -466,5 +550,6 @@ def materialize_batched(
         index=index,
         metric=metric,
         block_size=block_size,
+        duplicate_mode=duplicate_mode,
         n_jobs=n_jobs,
     )

@@ -41,14 +41,15 @@ def k_distance(
     """
     X = check_data(X, min_rows=2)
     k = check_min_pts(k, X.shape[0], name="k")
-    nn_index = make_index(index, metric=metric).fit(X)
     if point_index is not None:
+        nn_index = make_index(index, metric=metric).fit(X)
         hood = nn_index.query(X[point_index], k, exclude=int(point_index))
         return hood.k_distance
-    out = np.empty(X.shape[0])
-    for i in range(X.shape[0]):
-        out[i] = nn_index.query(X[i], k, exclude=i).k_distance
-    return out
+    # All-objects form: one shared columnar graph build instead of n
+    # scalar queries — the same storage every bulk surface reads.
+    from .graph import NeighborhoodGraph
+
+    return NeighborhoodGraph.from_index(X, k, index=index, metric=metric).k_distances(k)
 
 
 def k_distance_neighborhood(

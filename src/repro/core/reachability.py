@@ -17,6 +17,7 @@ import numpy as np
 
 from .._validation import check_data, check_min_pts
 from ..index import get_metric, make_index
+from ..index.batch import tie_threshold
 
 
 def reach_dist(
@@ -62,5 +63,5 @@ def reachability_matrix(
     # k-distance per column object o: k-th smallest distance to others.
     n = X.shape[0]
     no_self = distances + np.diag(np.full(n, np.inf))
-    kdist = np.partition(no_self, k - 1, axis=1)[:, k - 1]
+    kdist = tie_threshold(no_self, k)
     return np.maximum(distances, kdist[np.newaxis, :])

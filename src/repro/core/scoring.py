@@ -1,0 +1,155 @@
+"""THE scoring kernel: reach-dist, lrd and LOF over a neighborhood view.
+
+This module is the single vectorized implementation of Definitions 5-7
+and of the duplicate conventions (the remark after Definition 6). Every
+scoring surface in the repository — the materialization database, the
+blocked fast path, top-n mining, the incremental/streaming engines, the
+LOF/OPTICS handshake — routes its density and ratio arithmetic through
+the four kernels below; no other module is allowed to re-implement them
+(enforced by ``tests/test_layering.py`` and the CI layering lint). The
+one deliberate exception is :mod:`repro.core.reference`, the naive
+oracle kept independent for differential testing.
+
+Kernel contract
+---------------
+All kernels are pure array transforms over the CSR layout of
+:class:`~repro.core.graph.NeighborhoodView` (``offsets[i]:offsets[i+1]``
+delimits row i's neighborhood) and use ``np.add.reduceat`` for row sums,
+so every caller — batch, subset, or single-object — produces
+bit-identical floating-point results for identical neighborhoods.
+
+Conventions (duplicate-heavy data, ``'inf'`` mode):
+
+* ``lrd = inf`` when every reachability distance in the neighborhood
+  is 0 (at least MinPts duplicates);
+* LOF ratios use ``inf / inf := 1`` (co-located points are ordinary
+  relative to each other) and ``finite / inf := 0``.
+
+The *dirty-subset* API — :func:`lrd_of` / :func:`lof_of` — is the same
+kernel applied to a sub-view: dynamic callers (incremental inserts and
+deletes, sliding windows) recompute exactly the rows they marked dirty,
+vectorized, instead of looping per-object Python math.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import DuplicatePointsError
+
+__all__ = [
+    "reach_dist_values",
+    "lrd_values",
+    "lof_values",
+    "lrd_of",
+    "lof_of",
+]
+
+
+def reach_dist_values(
+    flat_dists: np.ndarray, neighbor_kdist: np.ndarray
+) -> np.ndarray:
+    """Definition 5, flat: ``reach-dist(p, o) = max(k-distance(o), d(p, o))``.
+
+    ``flat_dists`` holds d(p, o) for every neighborhood pair in CSR
+    order; ``neighbor_kdist`` the k-distance of each pair's *neighbor* o
+    (i.e. ``kdist[flat_ids]``).
+    """
+    return np.maximum(neighbor_kdist, flat_dists)
+
+
+def lrd_values(
+    flat_reach: np.ndarray,
+    offsets: np.ndarray,
+    duplicate_mode: str = "inf",
+) -> np.ndarray:
+    """Definition 6, one CSR pass: ``lrd(p) = |N(p)| / sum reach-dist``.
+
+    The only division producing local reachability densities in the
+    repository. ``duplicate_mode='inf'`` keeps the paper's plain
+    definition (MinPts-fold duplicates give ``lrd = inf``);
+    ``'error'`` raises :class:`DuplicatePointsError` instead;
+    ``'distinct'`` neighborhoods never produce a zero sum, so the mode
+    needs no special handling here.
+    """
+    counts = np.diff(offsets).astype(np.float64)
+    if len(counts) == 0:
+        return np.empty(0, dtype=np.float64)
+    sums = np.add.reduceat(flat_reach, offsets[:-1])
+    with np.errstate(divide="ignore"):
+        lrd = counts / sums
+    if duplicate_mode == "error" and np.any(np.isinf(lrd)):
+        bad = int(np.flatnonzero(np.isinf(lrd))[0])
+        raise DuplicatePointsError(
+            f"object {bad} has at least MinPts duplicates; its local "
+            f"reachability density is infinite "
+            f"(use duplicate_mode='distinct' or 'inf')"
+        )
+    return lrd
+
+
+def lof_values(
+    lrd_self: np.ndarray,
+    flat_neighbor_lrd: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Definition 7, one CSR pass: the mean lrd(o)/lrd(p) ratio.
+
+    The only division producing LOF ratios in the repository.
+    ``lrd_self`` is per row; ``flat_neighbor_lrd`` is ``lrd[flat_ids]``.
+    Ratio conventions: ``inf/inf := 1``; ``finite/inf`` is 0 by IEEE
+    arithmetic; ``inf/finite`` stays inf (a finite-density point whose
+    neighbors are infinitely dense).
+    """
+    counts = np.diff(offsets).astype(np.float64)
+    if len(counts) == 0:
+        return np.empty(0, dtype=np.float64)
+    lrd_rep = np.repeat(lrd_self, np.diff(offsets))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = flat_neighbor_lrd / lrd_rep
+    # inf/inf produces NaN; the convention for co-located points is 1.
+    both_inf = np.isinf(flat_neighbor_lrd) & np.isinf(lrd_rep)
+    ratios[both_inf] = 1.0
+    return np.add.reduceat(ratios, offsets[:-1]) / counts
+
+
+# -- dirty-subset API ---------------------------------------------------------
+#
+# ``graph`` below is anything with ``subview(rows)`` and
+# ``kdist_values(ids)`` — both NeighborhoodGraph flavors qualify.
+
+
+def lrd_of(graph, rows, duplicate_mode: str = "inf") -> np.ndarray:
+    """lrd of exactly the objects in ``rows``, vectorized.
+
+    One :func:`reach_dist_values` + :func:`lrd_values` pass over the
+    sub-view of ``rows`` — the recompute primitive for dynamic callers
+    whose k-distances are already current.
+    """
+    view = graph.subview(rows)
+    if view.n_rows == 0:
+        return np.empty(0, dtype=np.float64)
+    reach = reach_dist_values(view.dists, graph.kdist_values(view.ids))
+    return lrd_values(reach, view.offsets, duplicate_mode=duplicate_mode)
+
+
+def lof_of(
+    graph,
+    rows,
+    lrd_by_id: np.ndarray,
+    lrd_self: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """LOF of exactly the objects in ``rows``, vectorized.
+
+    ``lrd_by_id`` is a dense lookup (indexed by neighbor id) that must
+    already be current for every neighbor of every row; ``lrd_self``
+    defaults to ``lrd_by_id[rows]``.
+    """
+    view = graph.subview(rows)
+    if view.n_rows == 0:
+        return np.empty(0, dtype=np.float64)
+    if lrd_self is None:
+        lrd_self = lrd_by_id[view.row_ids]
+    return lof_values(lrd_self, lrd_by_id[view.ids], view.offsets)

@@ -9,8 +9,11 @@ the moment it arrives, against a bounded window of recent history:
   (concept drift ages out with the oldest points);
 * scores become available once the window holds more than ``min_pts``
   points — before that the detector reports ``None`` (warm-up);
-* every update reuses the incremental engine, touching only the
-  affected neighborhood layers.
+* every update reuses the incremental engine — a
+  :class:`~repro.core.graph.DynamicNeighborhoodGraph` plus the
+  dirty-subset scoring kernels — touching only the affected
+  neighborhood layers, so window scores match the batch surfaces
+  bit-for-bit.
 """
 
 from __future__ import annotations

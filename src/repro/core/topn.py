@@ -34,6 +34,7 @@ import numpy as np
 
 from .._validation import check_data, check_min_pts
 from ..exceptions import ValidationError
+from . import scoring
 from .materialization import MaterializationDB
 
 
@@ -64,9 +65,10 @@ def _bound_vectors(mat: MaterializationDB, min_pts: int) -> Tuple[np.ndarray, np
     object's neighborhood; indirect_min/max take the min/max of those
     same per-object extremes over the neighbors.
     """
-    flat_ids, flat_dists, offsets = mat.neighborhoods(min_pts)
+    view = mat.view(min_pts)
+    flat_ids, offsets = view.ids, view.offsets
     kdist = mat.k_distances(min_pts)
-    reach = np.maximum(kdist[flat_ids], flat_dists)
+    reach = scoring.reach_dist_values(view.dists, kdist[flat_ids])
     direct_min = np.minimum.reduceat(reach, offsets[:-1])
     direct_max = np.maximum.reduceat(reach, offsets[:-1])
     indirect_min = np.minimum.reduceat(direct_min[flat_ids], offsets[:-1])
@@ -82,17 +84,12 @@ def _bound_vectors(mat: MaterializationDB, min_pts: int) -> Tuple[np.ndarray, np
 
 
 def _exact_lof_of(mat: MaterializationDB, lrd: np.ndarray, i: int, min_pts: int) -> float:
+    # One single-row pass through the shared kernel — same reduceat sum
+    # as MaterializationDB.lof(), so near-tied LOF values compare
+    # bit-for-bit with the batch path.
     ids, _ = mat.neighborhood_of(i, min_pts)
-    lrd_p = lrd[i]
-    lrd_o = lrd[ids]
-    if np.isinf(lrd_p):
-        ratios = np.where(np.isinf(lrd_o), 1.0, 0.0)
-    else:
-        ratios = lrd_o / lrd_p
-    # Summed with reduceat — the batch path's kernel — so near-tied LOF
-    # values compare bit-for-bit with MaterializationDB.lof().
-    total = np.add.reduceat(ratios, np.array([0], dtype=np.int64))[0]
-    return float(total / len(ratios))
+    offsets = np.array([0, len(ids)], dtype=np.int64)
+    return float(scoring.lof_values(lrd[[i]], lrd[ids], offsets)[0])
 
 
 def top_n_lof(

@@ -21,6 +21,32 @@ from typing import Tuple
 import numpy as np
 
 
+def tie_threshold(dists: np.ndarray, k: int) -> np.ndarray:
+    """The k-distance (Definition 3) of each row of ``dists``.
+
+    The single shared implementation of the paper's tie cutoff: the k-th
+    smallest entry per row, via a partial sort. Works on a 1-D distance
+    row (returns a scalar array) or a 2-D ``(m, n)`` block (returns the
+    ``(m,)`` per-row thresholds). Excluded entries must already be
+    ``inf`` and every row must contain at least ``k`` finite entries.
+    """
+    return np.partition(dists, k - 1, axis=-1)[..., k - 1]
+
+
+def tie_inclusive_row(dists: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Tie-inclusive k-distance neighborhood of ONE distance row.
+
+    Returns ``(ids, kth)``: the indices of every entry at distance not
+    greater than the k-distance (Definition 4 — so ``len(ids) >= k``),
+    sorted by the deterministic ``(distance, id)`` order, plus the
+    k-distance itself.
+    """
+    kth = tie_threshold(dists, k)
+    idx = np.flatnonzero(dists <= kth)
+    order = np.lexsort((idx, dists[idx]))
+    return idx[order], float(kth)
+
+
 def select_tie_inclusive(D: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Tie-inclusive k-nearest selection for every row of ``D`` at once.
 
@@ -41,7 +67,7 @@ def select_tie_inclusive(D: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray,
     """
     # Partial selection of the k-th smallest per row, then a closed-ball
     # mask so equal-distance candidates are all retained (Definition 4).
-    kth = np.partition(D, k - 1, axis=1)[:, k - 1]
+    kth = tie_threshold(D, k)
     mask = D <= kth[:, None]
     rows, cols = np.nonzero(mask)
     flat_dists = D[mask]

@@ -15,7 +15,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .base import Neighborhood, NNIndex, register_index
-from .batch import apply_exclusions, pack_padded, select_tie_inclusive
+from .batch import (
+    apply_exclusions,
+    pack_padded,
+    select_tie_inclusive,
+    tie_threshold,
+)
 
 
 @register_index
@@ -43,8 +48,7 @@ class BruteForceIndex(NNIndex):
             # (ties included), then an exact (distance, id) sort and a
             # truncation to k — so equal-distance candidates always
             # resolve to the lowest ids, deterministically.
-            kth = np.partition(dists, k - 1)[k - 1]
-            idx = np.flatnonzero(dists <= kth)
+            idx = np.flatnonzero(dists <= tie_threshold(dists, k))
         else:
             idx = np.arange(len(dists))
             if exclude is not None:
@@ -55,7 +59,7 @@ class BruteForceIndex(NNIndex):
     def _query_with_ties(self, q, k, exclude):
         dists = self._distances_to(q, exclude)
         if k < len(dists):
-            kth = np.partition(dists, k - 1)[k - 1]
+            kth = tie_threshold(dists, k)
         else:
             kth = np.max(dists[np.isfinite(dists)])
         idx = np.flatnonzero(dists <= kth)
