@@ -35,6 +35,12 @@ Package layout
     theorem validation, and per-dimension explanations.
 :mod:`repro.io`
     CSV persistence for datasets and score files.
+:mod:`repro.store`
+    the versioned on-disk model store: checksummed, memmap-loadable
+    persistence of a fitted model (see ``docs/serving.md``).
+:mod:`repro.serve`
+    online scoring of unseen points against a loaded store, plus the
+    JSON-over-HTTP scoring service behind ``repro-lof serve``.
 :mod:`repro.obs`
     opt-in instrumentation: deterministic op counters, timer spans and
     JSON stats export (see ``docs/observability.md``).
@@ -64,12 +70,20 @@ from .exceptions import (
     NotFittedError,
     ReproError,
     SpatialIndexError,
+    StoreCorruptionError,
+    StoreError,
+    StoreFormatError,
+    StoreMismatchError,
+    StoreVersionError,
     ValidationError,
 )
 from .index import available_indexes, make_index
 from . import obs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# store imports the version string above; keep this import below it.
+from .store import load_model, save_model  # noqa: E402
 
 __all__ = [
     "IncrementalLOF",
@@ -93,9 +107,16 @@ __all__ = [
     "NotFittedError",
     "ReproError",
     "SpatialIndexError",
+    "StoreCorruptionError",
+    "StoreError",
+    "StoreFormatError",
+    "StoreMismatchError",
+    "StoreVersionError",
     "ValidationError",
     "available_indexes",
     "make_index",
+    "load_model",
+    "save_model",
     "obs",
     "__version__",
 ]

@@ -5,6 +5,15 @@ Subcommands
 score
     Compute LOF scores for a CSV dataset and write a score file:
     ``repro-lof score data.csv --min-pts 10 50 --out scores.csv``
+    With ``--store model.rlof`` the dataset is scored *online* against a
+    persisted fitted model instead of fitting from scratch.
+fit
+    Fit an estimator and persist the whole model (neighborhood graph,
+    per-MinPts caches, scores, dataset snapshot) to a store file:
+    ``repro-lof fit data.csv --min-pts 10 50 --out model.rlof``
+serve
+    Serve a persisted model over HTTP for online scoring:
+    ``repro-lof serve model.rlof --port 8000``
 rank
     Print the top outliers of a dataset:
     ``repro-lof rank data.csv --min-pts 10 50 --top 10``
@@ -25,6 +34,11 @@ Any subcommand accepts the top-level ``--profile`` flag, which runs it
 inside an instrumentation scope (:mod:`repro.obs`) and emits the
 counter/timer snapshot as JSON — to stderr, or to ``--profile-out PATH``:
 ``repro-lof --profile --profile-out profile.json demo``
+
+Exit codes: 0 success; 2 user error (bad input, bad parameters, missing
+files); 3 unusable model store (corrupt, truncated, wrong format or
+version — :class:`~repro.exceptions.StoreError`), so scripted callers
+can tell "fix the command" from "re-save the model".
 """
 
 from __future__ import annotations
@@ -42,13 +56,17 @@ from .core.materialization import MaterializationDB
 from .core.ranking import rank_outliers
 from .core.topn import top_n_lof
 from .datasets.paper import make_fig9_dataset
-from .exceptions import ReproError
+from .exceptions import ReproError, StoreError
 from .io import (
     load_dataset,
     load_materialization,
     save_materialization,
     save_scores,
 )
+
+
+EXIT_USER_ERROR = 2
+EXIT_STORE_ERROR = 3
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -96,10 +114,57 @@ def _fit(args, X) -> LocalOutlierFactor:
 
 def _cmd_score(args) -> int:
     X, labels = load_dataset(args.dataset)
+    if args.store is not None:
+        from .serve import OnlineScorer
+
+        scorer = OnlineScorer.from_path(args.store, mmap=args.mmap)
+        # A single --min-pts value scores plain LOF_k; otherwise the
+        # stored model's own grid and aggregate apply.
+        min_pts = args.min_pts[0] if len(args.min_pts) == 1 else None
+        scores = scorer.score_new(X, min_pts=min_pts)
+        save_scores(args.out, scores, labels=labels)
+        print(
+            f"wrote {len(scores)} online LOF scores "
+            f"(store {args.store}) to {args.out}"
+        )
+        return 0
     est = _fit(args, X)
     save_scores(args.out, est.scores_, labels=labels)
     print(f"wrote {len(est.scores_)} LOF scores to {args.out}")
     return 0
+
+
+def _cmd_fit(args) -> int:
+    X, _ = load_dataset(args.dataset)
+    est = LocalOutlierFactor(
+        min_pts=_min_pts_arg(args.min_pts),
+        aggregate=args.aggregate,
+        metric=args.metric,
+        index=args.index,
+        duplicate_mode=args.duplicate_mode,
+        threshold=args.threshold,
+        n_jobs=args.n_jobs,
+    ).fit(X)
+    est.save(args.out)
+    print(
+        f"fitted {est.materialization_.n_points} objects "
+        f"(MinPts {est.min_pts_values_[0]}..{est.min_pts_values_[-1]}, "
+        f"aggregate={est.aggregate}) and saved the model to {args.out}"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import run_server
+
+    return run_server(
+        args.store,
+        host=args.host,
+        port=args.port,
+        mmap=args.mmap,
+        max_requests=args.max_requests,
+        cache_size=args.cache_size,
+    )
 
 
 def _cmd_rank(args) -> int:
@@ -209,8 +274,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_score = sub.add_parser("score", help="compute LOF scores for a CSV dataset")
     p_score.add_argument("dataset", help="CSV written by repro.io.save_dataset")
     p_score.add_argument("--out", required=True, help="output score CSV")
+    p_score.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="score online against this persisted model store instead of "
+             "fitting (a single --min-pts selects LOF_k; otherwise the "
+             "stored grid and aggregate apply)",
+    )
+    p_score.add_argument(
+        "--mmap", action="store_true",
+        help="with --store: memory-map the store instead of reading it",
+    )
     _add_common_options(p_score)
     p_score.set_defaults(func=_cmd_score)
+
+    p_fit = sub.add_parser(
+        "fit", help="fit an estimator and persist the model to a store file"
+    )
+    p_fit.add_argument("dataset", help="CSV written by repro.io.save_dataset")
+    p_fit.add_argument("--out", required=True, help="output model store file")
+    p_fit.add_argument(
+        "--duplicate-mode", choices=("inf", "distinct", "error"), default="inf"
+    )
+    p_fit.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="outlier threshold stored with the model (default: 1.5)",
+    )
+    _add_common_options(p_fit)
+    p_fit.set_defaults(func=_cmd_fit)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a persisted model over HTTP for online scoring"
+    )
+    p_serve.add_argument("store", help="model store written by 'fit'")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000)
+    p_serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="shut down after N scored requests (default: serve forever)",
+    )
+    p_serve.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the store instead of reading it into RAM",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=1024, metavar="N",
+        help="LRU entries for repeated-query reuse (0 disables)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_rank = sub.add_parser("rank", help="print the top outliers of a dataset")
     p_rank.add_argument("dataset", help="CSV written by repro.io.save_dataset")
@@ -292,12 +402,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             _emit_profile(snapshot, args.profile_out)
             return rc
         return args.func(args)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_STORE_ERROR
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USER_ERROR
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USER_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

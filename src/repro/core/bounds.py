@@ -93,6 +93,30 @@ def indirect_bounds(
     return lo, hi
 
 
+def reach_extrema(
+    mat: MaterializationDB, min_pts: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-object (reach-min, reach-max) over every object at once.
+
+    One vectorized pass instead of n calls to :func:`direct_bounds`:
+    row i of the per-MinPts view contributes
+    ``min/max reach-dist(i, o) for o in N_MinPts(i)`` via segmented
+    reductions. These are the direct_min/direct_max of Theorem 1 for
+    every object — and, gathered over a neighborhood's member ids, the
+    ingredients of its indirect bounds. The online scoring service
+    (:mod:`repro.serve`) uses them to bracket a query's LOF without
+    running the lrd/LOF kernels.
+    """
+    view = mat.view(min_pts)
+    kdist = mat.k_distances(min_pts)
+    reach = reach_dist_values(view.dists, kdist[view.ids])
+    starts = view.offsets[:-1]
+    return (
+        np.minimum.reduceat(reach, starts),
+        np.maximum.reduceat(reach, starts),
+    )
+
+
 def theorem1_bounds(
     mat_or_X,
     i: int,

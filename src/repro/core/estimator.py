@@ -61,6 +61,8 @@ class LocalOutlierFactor:
         per-k views of this one structure.
     profile_ : instrumentation snapshot of the fit (None unless
         ``profile=True``).
+    X_ : the validated dataset snapshot, kept so the fitted model can be
+        persisted (:meth:`save`) and served online (:mod:`repro.serve`).
 
     Examples
     --------
@@ -95,6 +97,7 @@ class LocalOutlierFactor:
         self._result: Optional[RangeLOFResult] = None
         self.materialization_: Optional[MaterializationDB] = None
         self.profile_: Optional[dict] = None
+        self.X_: Optional[np.ndarray] = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -110,6 +113,7 @@ class LocalOutlierFactor:
 
     def _fit(self, X) -> None:
         X = check_data(X, min_rows=3)
+        self.X_ = X
         lb, ub = self._resolve_range(X.shape[0])
         with obs.span("estimator.materialize"):
             self.materialization_ = MaterializationDB.materialize(
@@ -131,6 +135,54 @@ class LocalOutlierFactor:
     def fit_predict(self, X) -> np.ndarray:
         """Fit and return +1 (inlier) / -1 (outlier) per object."""
         return self.fit(X).predict()
+
+    # -- persistence (repro.store) ------------------------------------------
+
+    def save(self, path):
+        """Persist the fitted model — neighborhood graph, per-MinPts
+        caches, LOF matrix/scores, dataset snapshot and metadata — via
+        :func:`repro.store.save_model`. The saved file can be reloaded
+        with :meth:`load` or served online by :mod:`repro.serve`."""
+        from ..store import save_model
+
+        self._require_fitted()
+        return save_model(path, self)
+
+    @classmethod
+    def load(cls, path, mmap: bool = False, verify: bool = True) -> "LocalOutlierFactor":
+        """Rehydrate a fitted estimator from a store file in a fresh
+        process: ``scores_``, ``lof_matrix_``, ``predict`` and ``rank``
+        work without refitting. Raises
+        :class:`~repro.exceptions.StoreMismatchError` for stores saved
+        from a bare :class:`MaterializationDB`."""
+        from ..exceptions import StoreMismatchError
+        from ..store import load_model
+
+        model = load_model(path, mmap=mmap, verify=verify)
+        if model.kind != "estimator" or model.estimator is None:
+            raise StoreMismatchError(
+                f"{path} holds a bare materialization, not a fitted "
+                "estimator; load it with MaterializationDB.load"
+            )
+        meta = model.estimator
+        lb, ub = int(meta["min_pts_lb"]), int(meta["min_pts_ub"])
+        est = cls(
+            min_pts=lb if lb == ub else (lb, ub),
+            aggregate=meta["aggregate"],
+            metric=model.metric_object(),
+            duplicate_mode=model.mat.duplicate_mode,
+            threshold=meta["threshold"],
+        )
+        est.materialization_ = model.mat
+        est.X_ = model.require_snapshot()
+        est.profile_ = model.obs_snapshot
+        est._result = RangeLOFResult(
+            min_pts_values=model.min_pts_values,
+            lof_matrix=model.lof_matrix,
+            scores=model.scores,
+            aggregate=meta["aggregate"],
+        )
+        return est
 
     def _resolve_range(self, n_samples: int):
         if isinstance(self.min_pts, (int, np.integer)) and not isinstance(

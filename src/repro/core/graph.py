@@ -74,6 +74,46 @@ class NeighborhoodView:
         sl = slice(self.offsets[i], self.offsets[i + 1])
         return self.ids[sl], self.dists[sl]
 
+    @classmethod
+    def from_ragged(
+        cls,
+        k: int,
+        rows_ids: Sequence[np.ndarray],
+        rows_dists: Sequence[np.ndarray],
+        kdist: np.ndarray,
+        row_ids: Optional[np.ndarray] = None,
+    ) -> "NeighborhoodView":
+        """Pack ragged per-row (ids, dists) neighborhoods into one CSR view.
+
+        The external-row entry point to the scoring kernels: online
+        scoring (:mod:`repro.serve`) packs *query* neighborhoods — rows
+        that are not objects of the graph — into the same
+        ``NeighborhoodView`` the kernels consume, so new points are
+        scored by the exact arithmetic that scored the training set.
+        ``row_ids`` defaults to ``-1`` per row ("not a stored object").
+        """
+        counts = np.array([len(r) for r in rows_ids], dtype=np.int64)
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if len(counts) and counts.sum():
+            ids = np.concatenate([np.asarray(r, dtype=np.int64) for r in rows_ids])
+            dists = np.concatenate(
+                [np.asarray(r, dtype=np.float64) for r in rows_dists]
+            )
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            dists = np.empty(0, dtype=np.float64)
+        if row_ids is None:
+            row_ids = np.full(len(counts), -1, dtype=np.int64)
+        return cls(
+            k=int(k),
+            ids=ids,
+            dists=dists,
+            offsets=offsets,
+            kdist=np.asarray(kdist, dtype=np.float64),
+            row_ids=np.asarray(row_ids, dtype=np.int64),
+        )
+
 
 class NeighborhoodGraph:
     """Static columnar k-NN graph: one build, every ``k <= k_max`` view.

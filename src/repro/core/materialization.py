@@ -428,6 +428,52 @@ class MaterializationDB:
             raise ValidationError(f"min_pts_lb={lb} exceeds min_pts_ub={ub}")
         return {k: self.lof(k) for k in range(lb, ub + 1)}
 
+    # -- persistence (repro.store) ----------------------------------------------
+
+    def cached_lrd(self) -> Dict[int, np.ndarray]:
+        """Copy of the per-MinPts lrd cache (what a save persists)."""
+        return dict(self._lrd_cache)
+
+    def cached_lof(self) -> Dict[int, np.ndarray]:
+        """Copy of the per-MinPts LOF cache (what a save persists)."""
+        return dict(self._lof_cache)
+
+    def seed_caches(self, lrd=None, lof=None) -> None:
+        """Pre-populate the per-MinPts caches from persisted vectors.
+
+        Used by :mod:`repro.store` on load so step-2 queries against a
+        reloaded M serve the exact vectors computed at fit time without
+        a recompute (``mscan.passes`` stays 0 for seeded values). Every
+        key must be a valid MinPts for this database and every vector
+        must cover all ``n_points`` objects.
+        """
+        for cache, seeds in ((self._lrd_cache, lrd), (self._lof_cache, lof)):
+            for k, vec in (seeds or {}).items():
+                k = self._check_k(int(k))
+                vec = np.asarray(vec, dtype=np.float64)
+                if vec.shape != (self.n_points,):
+                    raise ValidationError(
+                        f"cache vector for MinPts={k} has shape {vec.shape}, "
+                        f"expected ({self.n_points},)"
+                    )
+                cache[k] = vec
+
+    def save(self, path, X=None, metric="euclidean"):
+        """Persist M (plus an optional dataset snapshot ``X`` for online
+        scoring) via :func:`repro.store.save_model`."""
+        from ..store import save_model
+
+        return save_model(path, self, X=X, metric=metric)
+
+    @classmethod
+    def load(cls, path, mmap: bool = False, verify: bool = True) -> "MaterializationDB":
+        """Reload a persisted M; answers every MinPts <= its bound
+        exactly as the original did (estimator stores load fine too —
+        their embedded materialization is returned)."""
+        from ..store import load_model
+
+        return load_model(path, mmap=mmap, verify=verify).mat
+
     # -- misc -------------------------------------------------------------------
 
     def size_in_records(self) -> int:

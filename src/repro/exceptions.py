@@ -40,3 +40,33 @@ class IndexError_(ReproError):
 
 
 SpatialIndexError = IndexError_
+
+
+class StoreError(ReproError):
+    """Base class for every failure of the persistent model store
+    (:mod:`repro.store`). Catch this to handle "the saved model cannot
+    be used" uniformly; the subclasses distinguish *why*."""
+
+
+class StoreFormatError(StoreError):
+    """The file is not a repro model store at all (bad magic, malformed
+    header) — most likely the wrong file was passed."""
+
+
+class StoreVersionError(StoreError):
+    """The file is a repro model store of a format version this build
+    does not read. Versions are never silently coerced; see the
+    versioning rules in ``docs/serving.md``."""
+
+
+class StoreCorruptionError(StoreError):
+    """The file identifies as a model store but fails integrity checks
+    (truncated sections or a section checksum mismatch). Scores must
+    never be produced from such a file."""
+
+
+class StoreMismatchError(StoreError):
+    """The store loaded cleanly but does not carry what the caller
+    needs (e.g. serving queries from a store saved without the dataset
+    snapshot, or loading an estimator API onto a bare materialization
+    store)."""

@@ -42,6 +42,17 @@ Counters (see ``docs/observability.md`` for the full contract)
 ``mscan.passes``
     O(n) scans over the materialization database M (one per lrd pass,
     one per lof pass — the paper's "step 2" scans).
+``store.saves`` / ``store.loads``
+    model-store files written / read by :mod:`repro.store`.
+``serve.points_scored``
+    query points answered by :meth:`~repro.serve.OnlineScorer.score_new`
+    (cache hits included).
+``serve.cache.hits`` / ``serve.cache.misses``
+    per-point lookups against the online scorer's LRU result cache;
+    scoring is lock-serialized, so both are exact under concurrency.
+``serve.bounds.pruned`` / ``serve.bounds.exact``
+    queries :meth:`~repro.serve.OnlineScorer.classify_new` decided from
+    Theorem 1 brackets alone vs. those that paid for the exact kernels.
 
 Timers
 ------

@@ -1,0 +1,605 @@
+"""repro.serve — online LOF scoring against a persisted model store.
+
+Section 7.4's punchline is that once the materialization database M is
+built, "the original database D is not needed" for step 2. This module
+pushes that one step further: with the store of :mod:`repro.store`
+(which carries M *plus* the dataset snapshot), unseen query points can
+be scored in a fresh process without ever re-running the fit.
+
+Scoring a query point q against a fitted model follows the paper's
+definitions verbatim, with the fitted model supplying every ingredient
+about the training objects:
+
+1. find q's tie-inclusive MinPts-distance neighborhood N(q) among the
+   stored vectors (Definition 4, same ``(distance, id)`` order and the
+   same tie kernels as the batch builders — :mod:`repro.index.batch`);
+2. ``reach-dist(q, o) = max(k-distance(o), d(q, o))`` uses the *stored*
+   k-distances of the neighbors o (Definition 5);
+3. ``lrd(q)`` and ``LOF(q)`` run through the shared
+   :mod:`repro.core.scoring` kernels against the stored per-MinPts lrd
+   vectors (Definitions 6-7) — this module re-implements no ratio math.
+
+Scoring a query that *is* a stored object (``exclude=i`` with bitwise
+equal coordinates) reuses row i of the stored neighborhood graph, so the
+result is bit-for-bit the fitted LOF value — the invariant the
+differential tests pin down.
+
+:class:`OnlineScorer` adds an LRU result cache (hit/miss obs counters,
+deterministic under concurrency: scoring is serialized by a lock, so N
+threads produce exactly the serial counters) and
+:meth:`OnlineScorer.classify_new`, which brackets each query's score
+with Theorem 1 bounds (:func:`repro.core.bounds.reach_extrema`) and
+only runs the exact kernels for queries whose bracket straddles the
+threshold.
+
+The HTTP surface (``repro-lof serve``) is a stdlib
+:class:`~http.server.ThreadingHTTPServer` speaking JSON::
+
+    POST /score    {"points": [[...], ...], "min_pts": 12?}
+                   -> {"scores": [...], "min_pts": [...], "aggregate": "max"}
+    GET  /model    store metadata (kind, n points, grid, metric, ...)
+    GET  /stats    cache and scoring counters
+    GET  /healthz  liveness probe
+
+Malformed requests get a 400 with ``{"error": ...}``; scoring a store
+saved without a dataset snapshot fails at startup with
+:class:`~repro.exceptions.StoreMismatchError`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from . import obs
+from ._validation import check_data
+from .core import scoring
+from .core.bounds import reach_extrema
+from .core.graph import NeighborhoodView
+from .core.range_lof import _AGGREGATES
+from .exceptions import ReproError, ValidationError
+from .index.batch import apply_exclusions, select_tie_inclusive, tie_threshold
+from .store import StoredModel, load_model
+
+__all__ = [
+    "LRUCache",
+    "OnlineScorer",
+    "ClassifyResult",
+    "make_server",
+    "run_server",
+]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A small least-recently-used result cache with exact counters.
+
+    Deliberately minimal: ``get``/``put`` move entries to the MRU end of
+    an :class:`~collections.OrderedDict` and evict from the LRU end.
+    ``hits``/``misses`` are plain ints maintained by the caller's lock
+    discipline (the scorer serializes access), so tests can assert exact
+    values. ``capacity <= 0`` disables caching entirely.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        if self.capacity <= 0:
+            self.misses += 1
+            return _MISSING
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return _MISSING
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if self.capacity <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def cache_info(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "capacity": self.capacity,
+        }
+
+
+@dataclass
+class ClassifyResult:
+    """Outcome of :meth:`OnlineScorer.classify_new`.
+
+    ``labels`` follows the estimator's convention (+1 inlier, -1
+    outlier). ``lower``/``upper`` are the aggregated Theorem 1 brackets;
+    ``scores`` holds the exact LOF only for queries whose bracket
+    straddled the threshold (NaN where the bounds alone decided).
+    """
+
+    labels: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    scores: np.ndarray
+    pruned: int
+    exact: int
+
+
+class OnlineScorer:
+    """Score unseen points against a loaded model store.
+
+    Parameters
+    ----------
+    model : a :class:`~repro.store.StoredModel` from
+        :func:`~repro.store.load_model`; it must carry the dataset
+        snapshot (estimator stores always do).
+    cache_size : LRU entries for per-point score reuse (0 disables).
+
+    The MinPts grid and aggregate default to what the stored estimator
+    was fitted with; a bare materialization store scores at its
+    ``min_pts_ub``. All public methods are thread-safe: scoring is
+    serialized by an internal lock, which also makes the cache and obs
+    counters exactly reproducible under concurrent load.
+    """
+
+    def __init__(self, model: StoredModel, cache_size: int = 1024):
+        self.model = model
+        self.mat = model.mat
+        self.X = np.ascontiguousarray(model.require_snapshot(), dtype=np.float64)
+        self.metric = model.metric_object()
+        meta = model.estimator or {}
+        lb = int(meta.get("min_pts_lb", self.mat.min_pts_ub))
+        ub = int(meta.get("min_pts_ub", self.mat.min_pts_ub))
+        self.min_pts_grid: Tuple[int, ...] = tuple(range(lb, ub + 1))
+        self.aggregate = str(meta.get("aggregate", "max"))
+        if self.aggregate not in _AGGREGATES:
+            raise ValidationError(
+                f"unknown aggregate {self.aggregate!r} in store metadata"
+            )
+        self.threshold = float(meta.get("threshold", 1.5))
+        self.cache = LRUCache(cache_size)
+        self._lock = threading.RLock()
+        self._extrema: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    @classmethod
+    def from_path(
+        cls,
+        path,
+        mmap: bool = False,
+        verify: bool = True,
+        cache_size: int = 1024,
+    ) -> "OnlineScorer":
+        """Load a store file and build a scorer for it."""
+        return cls(load_model(path, mmap=mmap, verify=verify), cache_size=cache_size)
+
+    # -- scoring --------------------------------------------------------------
+
+    def score_new(
+        self,
+        Xq,
+        min_pts: Optional[int] = None,
+        exclude=None,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """LOF of each row of ``Xq`` relative to the stored model.
+
+        ``min_pts=None`` sweeps the stored grid and aggregates exactly
+        like the fitted estimator; an int scores plain LOF_MinPts.
+        ``exclude`` (per-row stored-object id, -1 for none) removes that
+        object from the query's candidate neighbors — pass ``exclude=i``
+        with the stored row i itself to recover the fitted LOF value
+        bit-for-bit.
+        """
+        with self._lock:
+            Xq, exclude, ks = self._check_query(Xq, exclude, min_pts)
+            m = Xq.shape[0]
+            out = np.empty(m, dtype=np.float64)
+            miss_rows = []
+            keys = []
+            for i in range(m):
+                key = (Xq[i].tobytes(), int(exclude[i]), ks)
+                keys.append(key)
+                if use_cache:
+                    hit = self.cache.get(key)
+                    if hit is not _MISSING:
+                        obs.incr("serve.cache.hits")
+                        out[i] = hit
+                        continue
+                    obs.incr("serve.cache.misses")
+                miss_rows.append(i)
+            if miss_rows:
+                scores = self._score_rows(Xq[miss_rows], exclude[miss_rows], ks)
+                for pos, i in enumerate(miss_rows):
+                    out[i] = scores[pos]
+                    if use_cache:
+                        self.cache.put(keys[i], float(scores[pos]))
+            obs.incr("serve.points_scored", m)
+            return out
+
+    def classify_new(
+        self,
+        Xq,
+        min_pts: Optional[int] = None,
+        threshold: Optional[float] = None,
+        exclude=None,
+    ) -> ClassifyResult:
+        """Label queries inlier/outlier, short-circuiting with Theorem 1.
+
+        For every query the direct bounds come from its own neighborhood
+        reach-dists and the indirect bounds from the stored per-object
+        reach extrema; ``direct_min/indirect_max <= LOF <=
+        direct_max/indirect_min`` holds per MinPts, and the aggregators
+        are componentwise monotone, so the aggregated brackets bound the
+        aggregated score. Only queries whose bracket straddles the
+        threshold pay for the exact kernels
+        (``serve.bounds.pruned`` / ``serve.bounds.exact`` counters).
+        """
+        with self._lock:
+            Xq, exclude, ks = self._check_query(Xq, exclude, min_pts)
+            thr = self.threshold if threshold is None else float(threshold)
+            m = Xq.shape[0]
+            lowers = np.empty((len(ks), m))
+            uppers = np.empty((len(ks), m))
+            for row_k, k in enumerate(ks):
+                view, kdist_q = self._query_view(Xq, exclude, k)
+                reach = scoring.reach_dist_values(
+                    view.dists, self.mat.k_distances(k)[view.ids]
+                )
+                starts = view.offsets[:-1]
+                direct_min = np.minimum.reduceat(reach, starts)
+                direct_max = np.maximum.reduceat(reach, starts)
+                rmin, rmax = self._reach_extrema(k)
+                indirect_min = np.minimum.reduceat(rmin[view.ids], starts)
+                indirect_max = np.maximum.reduceat(rmax[view.ids], starts)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    lo = direct_min / indirect_max
+                    hi = direct_max / indirect_min
+                # 0/0 (duplicate-saturated neighborhoods) gives NaN; the
+                # uninformative bracket [0, inf] keeps the bounds sound.
+                lowers[row_k] = np.where(np.isnan(lo), 0.0, lo)
+                uppers[row_k] = np.where(np.isnan(hi), np.inf, hi)
+            agg = _AGGREGATES[self.aggregate]
+            lower = agg(lowers)
+            upper = agg(uppers)
+            labels = np.zeros(m, dtype=np.int64)
+            labels[upper <= thr] = 1
+            labels[lower > thr] = -1
+            undecided = np.flatnonzero(labels == 0)
+            scores = np.full(m, np.nan)
+            if len(undecided):
+                scores[undecided] = self.score_new(
+                    Xq[undecided], min_pts=min_pts, exclude=exclude[undecided]
+                )
+                labels[undecided] = np.where(scores[undecided] > thr, -1, 1)
+            pruned = m - len(undecided)
+            obs.incr("serve.bounds.pruned", pruned)
+            obs.incr("serve.bounds.exact", len(undecided))
+            return ClassifyResult(
+                labels=labels,
+                lower=lower,
+                upper=upper,
+                scores=scores,
+                pruned=pruned,
+                exact=len(undecided),
+            )
+
+    def stats(self) -> Dict:
+        """Cache info plus the model's scoring identity."""
+        with self._lock:
+            return {
+                "n_points": int(self.mat.n_points),
+                "min_pts_grid": [int(k) for k in self.min_pts_grid],
+                "aggregate": self.aggregate,
+                "threshold": self.threshold,
+                "duplicate_mode": self.mat.duplicate_mode,
+                "cache": self.cache.cache_info(),
+            }
+
+    def model_info(self) -> Dict:
+        """The store's header metadata, JSON-ready."""
+        header = dict(self.model.header)
+        header.pop("sections", None)
+        header.pop("obs_snapshot", None)
+        return header
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_query(self, Xq, exclude, min_pts):
+        Xq = check_data(Xq, name="Xq", min_rows=1)
+        if Xq.shape[1] != self.X.shape[1]:
+            raise ValidationError(
+                f"query points have {Xq.shape[1]} features; the stored "
+                f"model was fitted on {self.X.shape[1]}"
+            )
+        m = Xq.shape[0]
+        if exclude is None:
+            exclude = np.full(m, -1, dtype=np.int64)
+        else:
+            exclude = np.asarray(exclude, dtype=np.int64)
+            if exclude.shape != (m,):
+                raise ValidationError(
+                    f"exclude must have one entry per query row, got "
+                    f"shape {exclude.shape} for {m} rows"
+                )
+            if np.any(exclude >= self.mat.n_points):
+                raise ValidationError("exclude entries must be stored object ids")
+        if min_pts is None:
+            ks = self.min_pts_grid
+        else:
+            ks = (self.mat._check_k(int(min_pts)),)
+        return Xq, exclude, ks
+
+    def _score_rows(self, Xq, exclude, ks) -> np.ndarray:
+        matrix = np.empty((len(ks), Xq.shape[0]))
+        for row_k, k in enumerate(ks):
+            view, kdist_q = self._query_view(Xq, exclude, k)
+            lrd_train = self.mat.lrd(k)
+            reach = scoring.reach_dist_values(
+                view.dists, self.mat.k_distances(k)[view.ids]
+            )
+            lrd_q = scoring.lrd_values(
+                reach, view.offsets, duplicate_mode=self.mat.duplicate_mode
+            )
+            matrix[row_k] = scoring.lof_values(
+                lrd_q, lrd_train[view.ids], view.offsets
+            )
+        if len(ks) == 1:
+            return matrix[0]
+        return _AGGREGATES[self.aggregate](matrix)
+
+    def _query_view(self, Xq, exclude, k):
+        """The per-query NeighborhoodView at MinPts=k.
+
+        Rows whose ``exclude`` id is a stored object with bitwise equal
+        coordinates reuse that object's stored neighborhood row — the
+        self-consistent path that reproduces fitted values exactly.
+        Novel rows run the same tie kernels as the batch builders over a
+        fresh distance block.
+        """
+        m = Xq.shape[0]
+        rows_ids = [None] * m
+        rows_dists = [None] * m
+        kdist_q = np.empty(m, dtype=np.float64)
+        kd_train = self.mat.k_distances(k)
+        stored_view = self.mat.view(k)
+        novel = []
+        for i in range(m):
+            j = int(exclude[i])
+            if j >= 0 and Xq[i].tobytes() == self.X[j].tobytes():
+                ids, dists = stored_view.row(j)
+                rows_ids[i] = ids
+                rows_dists[i] = dists
+                kdist_q[i] = kd_train[j]
+            else:
+                novel.append(i)
+        if novel:
+            D = self.metric.pairwise(Xq[novel], self.X)
+            apply_exclusions(D, exclude[novel])
+            if self.mat.duplicate_mode == "distinct":
+                for pos, i in enumerate(novel):
+                    ids, dists, radius = self._distinct_query_row(D[pos], k)
+                    rows_ids[i] = ids
+                    rows_dists[i] = dists
+                    kdist_q[i] = radius
+            else:
+                self._check_row_budget(D, k)
+                kth = tie_threshold(D, k)
+                flat_ids, flat_dists, counts = select_tie_inclusive(D, k)
+                offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+                np.cumsum(counts, out=offsets[1:])
+                for pos, i in enumerate(novel):
+                    sl = slice(offsets[pos], offsets[pos + 1])
+                    rows_ids[i] = flat_ids[sl]
+                    rows_dists[i] = flat_dists[sl]
+                    kdist_q[i] = kth[pos]
+        return NeighborhoodView.from_ragged(k, rows_ids, rows_dists, kdist_q), kdist_q
+
+    def _check_row_budget(self, D: np.ndarray, k: int) -> None:
+        finite = np.isfinite(D).sum(axis=1)
+        if np.any(finite < k):
+            bad = int(np.flatnonzero(finite < k)[0])
+            raise ValidationError(
+                f"query row {bad} has only {int(finite[bad])} candidate "
+                f"neighbors but MinPts={k}"
+            )
+
+    def _distinct_query_row(self, drow: np.ndarray, k: int):
+        """One query's k-distinct-distance neighborhood (closed ball).
+
+        Mirrors ``MaterializationDB._distinct_neighborhood``: the radius
+        is the distance at which the k-th distinct coordinate location
+        (at positive distance — co-located duplicates of the query do
+        not count) is reached; the neighborhood is every stored point
+        inside that closed ball, sorted by (distance, id).
+        """
+        coord_keys = self.mat.coord_keys
+        n = len(drow)
+        order = np.lexsort((np.arange(n), drow))
+        seen: set = set()
+        radius = None
+        for j in order:
+            d = drow[j]
+            if d <= 0.0 or not np.isfinite(d):
+                continue
+            key = int(coord_keys[j])
+            if key not in seen:
+                seen.add(key)
+                if len(seen) == k:
+                    radius = d
+                    break
+        if radius is None:
+            raise ValidationError(
+                f"fewer than k={k} distinct coordinate locations are "
+                "reachable from the query point"
+            )
+        members = np.flatnonzero(drow <= radius)
+        sub = np.lexsort((members, drow[members]))
+        return members[sub].astype(np.int64), drow[members][sub], float(radius)
+
+    def _reach_extrema(self, k: int):
+        if k not in self._extrema:
+            self._extrema[k] = reach_extrema(self.mat, k)
+        return self._extrema[k]
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface
+
+
+class _ModelHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns an :class:`OnlineScorer`.
+
+    ``max_requests`` (None = unlimited) shuts the server down after that
+    many successfully scored POSTs — the hook that makes the CLI smoke
+    test deterministic.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, scorer: OnlineScorer, max_requests=None):
+        super().__init__(address, _Handler)
+        self.scorer = scorer
+        self.max_requests = max_requests
+        self._served = 0
+        self._served_lock = threading.Lock()
+
+    def note_scored(self) -> None:
+        if self.max_requests is None:
+            return
+        with self._served_lock:
+            self._served += 1
+            if self._served >= self.max_requests:
+                threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _ModelHTTPServer
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging off; /stats carries the counters
+
+    def _reply(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        scorer = self.server.scorer
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok", "n_points": int(scorer.mat.n_points)})
+        elif self.path == "/stats":
+            self._reply(200, scorer.stats())
+        elif self.path == "/model":
+            self._reply(200, scorer.model_info())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path != "/score":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        scorer = self.server.scorer
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._reply(400, {"error": f"request body is not valid JSON: {exc}"})
+            return
+        if not isinstance(request, dict) or "points" not in request:
+            self._reply(400, {"error": 'request must be {"points": [[...], ...]}'})
+            return
+        min_pts = request.get("min_pts")
+        try:
+            if min_pts is not None:
+                min_pts = int(min_pts)
+            scores = scorer.score_new(request["points"], min_pts=min_pts)
+        except (ReproError, TypeError, ValueError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        ks = [min_pts] if min_pts is not None else list(scorer.min_pts_grid)
+        self._reply(
+            200,
+            {
+                "scores": [float(s) for s in scores],
+                "min_pts": [int(k) for k in ks],
+                "aggregate": scorer.aggregate if min_pts is None else None,
+            },
+        )
+        self.server.note_scored()
+
+
+def make_server(
+    store_path,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    mmap: bool = False,
+    max_requests=None,
+    cache_size: int = 1024,
+) -> _ModelHTTPServer:
+    """Build (but do not start) the scoring server; ``port=0`` binds an
+    ephemeral port, readable from ``server.server_address``."""
+    scorer = OnlineScorer.from_path(store_path, mmap=mmap, cache_size=cache_size)
+    return _ModelHTTPServer((host, port), scorer, max_requests=max_requests)
+
+
+def run_server(
+    store_path,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    mmap: bool = False,
+    max_requests=None,
+    cache_size: int = 1024,
+) -> int:
+    """Load a store and serve it over HTTP until interrupted (or until
+    ``max_requests`` scored POSTs)."""
+    server = make_server(
+        store_path,
+        host=host,
+        port=port,
+        mmap=mmap,
+        max_requests=max_requests,
+        cache_size=cache_size,
+    )
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"serving {store_path} on http://{bound_host}:{bound_port} "
+        f"(n={server.scorer.mat.n_points}, "
+        f"min_pts={list(server.scorer.min_pts_grid)})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+    return 0

@@ -1,0 +1,365 @@
+"""The online scoring engine and its HTTP surface.
+
+Three contracts:
+
+* *definitional* — ``score_new`` on an unseen point equals a naive
+  transliteration of Definitions 3-7 that treats the query as external
+  to the dataset;
+* *self-consistency* — ``score_new`` on a stored object (``exclude=i``)
+  is bit-for-bit the fitted LOF value, in-memory or memmap;
+* *determinism* — the LRU cache and its counters are exact, including
+  under concurrent hammering (scoring is lock-serialized).
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import LocalOutlierFactor, MaterializationDB, obs
+from repro.core.range_lof import _AGGREGATES
+from repro.exceptions import StoreMismatchError, ValidationError
+from repro.serve import LRUCache, OnlineScorer, make_server
+from repro.store import load_model, save_model
+
+
+@pytest.fixture
+def fitted_store(tmp_path, two_density_clusters):
+    path = tmp_path / "est.rlof"
+    est = LocalOutlierFactor(min_pts=(4, 10)).fit(two_density_clusters)
+    est.save(path)
+    return path, est
+
+
+@pytest.fixture
+def scorer(fitted_store):
+    path, est = fitted_store
+    return OnlineScorer.from_path(path), est
+
+
+def naive_external_lof(mat, X, q, k, metric="euclidean"):
+    """LOF of external query q, straight from the definitions: the
+    stored objects' k-distances and lrds are those of the fitted model
+    (q is not part of the dataset)."""
+    if metric == "euclidean":
+        d = np.sqrt(((X - q) ** 2).sum(axis=1))
+    else:
+        d = np.abs(X - q).sum(axis=1)
+    kth = np.partition(d, k - 1)[k - 1]
+    ids = np.flatnonzero(d <= kth)  # Definition 4: closed ball, ties in
+    kd = mat.k_distances(k)
+    lrd = mat.lrd(k)
+    reach = np.maximum(kd[ids], d[ids])  # Definition 5
+    lrd_q = len(ids) / reach.sum()  # Definition 6
+    return float(np.mean(lrd[ids] / lrd_q))  # Definition 7
+
+
+class TestScoreNew:
+    def test_matches_naive_oracle_on_unseen_points(self, scorer):
+        sc, est = scorer
+        rng = np.random.default_rng(5)
+        Q = rng.uniform(-5.0, 45.0, size=(30, 2))
+        for k in (4, 7, 10):
+            got = sc.score_new(Q, min_pts=k)
+            want = [naive_external_lof(sc.mat, sc.X, q, k) for q in Q]
+            np.testing.assert_allclose(got, want, rtol=1e-10)
+
+    def test_grid_aggregation_matches_per_k(self, scorer):
+        sc, est = scorer
+        Q = np.random.default_rng(6).uniform(0.0, 40.0, size=(12, 2))
+        per_k = np.vstack([sc.score_new(Q, min_pts=k) for k in sc.min_pts_grid])
+        np.testing.assert_array_equal(
+            sc.score_new(Q), _AGGREGATES[sc.aggregate](per_k)
+        )
+
+    def test_self_path_bit_identical(self, scorer):
+        sc, est = scorer
+        X = est.X_
+        ex = np.arange(len(X))
+        assert np.array_equal(sc.score_new(X, exclude=ex), est.scores_)
+        assert np.array_equal(
+            sc.score_new(X, min_pts=7, exclude=ex), est.materialization_.lof(7)
+        )
+
+    def test_self_path_bit_identical_memmap(self, fitted_store):
+        path, est = fitted_store
+        sc = OnlineScorer.from_path(path, mmap=True)
+        assert np.array_equal(
+            sc.score_new(est.X_, exclude=np.arange(len(est.X_))), est.scores_
+        )
+
+    def test_deep_cluster_point_scores_near_one(self, scorer):
+        sc, est = scorer
+        # The dense cluster of the fixture is centered at (40, 10).
+        score = sc.score_new([[40.0, 10.0]], min_pts=6)[0]
+        assert 0.8 < score < 1.3
+
+    def test_far_point_scores_high(self, scorer):
+        sc, _ = scorer
+        assert sc.score_new([[200.0, 200.0]], min_pts=6)[0] > 5.0
+
+    def test_feature_mismatch_rejected(self, scorer):
+        sc, _ = scorer
+        with pytest.raises(ValidationError, match="features"):
+            sc.score_new([[1.0, 2.0, 3.0]])
+
+    def test_min_pts_above_bound_rejected(self, scorer):
+        sc, _ = scorer
+        with pytest.raises(ValidationError):
+            sc.score_new([[0.0, 0.0]], min_pts=99)
+
+    def test_store_without_snapshot_rejected(self, tmp_path, two_density_clusters):
+        mat = MaterializationDB.materialize(two_density_clusters, 5)
+        save_model(tmp_path / "m.rlof", mat)  # no X
+        with pytest.raises(StoreMismatchError, match="snapshot"):
+            OnlineScorer(load_model(tmp_path / "m.rlof"))
+
+    def test_distinct_mode_duplicate_query(self, tmp_path):
+        rng = np.random.default_rng(9)
+        X = np.vstack([np.repeat([[1.0, 1.0]], 6, axis=0), rng.normal(4, 1, (40, 2))])
+        est = LocalOutlierFactor(min_pts=4, duplicate_mode="distinct").fit(X)
+        est.save(tmp_path / "d.rlof")
+        sc = OnlineScorer.from_path(tmp_path / "d.rlof")
+        assert np.array_equal(
+            sc.score_new(X, exclude=np.arange(len(X))), est.scores_
+        )
+        # A query co-located with the duplicate pile still gets a finite
+        # score: its neighborhood radius is the 4-distinct-distance.
+        assert np.isfinite(sc.score_new([[1.0, 1.0]], min_pts=4)[0])
+        # Degenerate distance row (all zeros): too few distinct
+        # positive-distance locations for the radius to exist.
+        with pytest.raises(ValidationError, match="distinct coordinate"):
+            sc._distinct_query_row(np.zeros(len(X)), 4)
+
+    def test_exclude_validation(self, scorer):
+        sc, _ = scorer
+        with pytest.raises(ValidationError, match="one entry per query row"):
+            sc.score_new([[0.0, 0.0]], exclude=[1, 2])
+        with pytest.raises(ValidationError, match="stored object ids"):
+            sc.score_new([[0.0, 0.0]], exclude=[sc.mat.n_points])
+
+    def test_unknown_aggregate_in_metadata_rejected(self, fitted_store):
+        path, _ = fitted_store
+        model = load_model(path)
+        model.estimator = dict(model.estimator, aggregate="bogus")
+        with pytest.raises(ValidationError, match="aggregate"):
+            OnlineScorer(model)
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        cache.get("b")  # evicted -> miss
+        assert cache.get("a") == 1 and cache.get("c") == 3  # survivors
+        assert cache.cache_info() == {
+            "hits": 3, "misses": 1, "size": 2, "capacity": 2,
+        }
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        cache.get("a")
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_clear_resets_counters(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.cache_info()["hits"] == 0
+        assert cache.cache_info()["misses"] == 0
+
+    def test_hit_miss_counters_deterministic(self, scorer):
+        sc, _ = scorer
+        Q = np.random.default_rng(7).uniform(0.0, 40.0, size=(6, 2))
+        obs.enable()
+        sc.score_new(Q)  # 6 misses
+        sc.score_new(Q)  # 6 hits
+        sc.score_new(Q[:3])  # 3 hits
+        assert sc.cache.misses == 6
+        assert sc.cache.hits == 9
+        assert obs.counter("serve.cache.misses") == 6
+        assert obs.counter("serve.cache.hits") == 9
+        assert obs.counter("serve.points_scored") == 15
+
+    def test_cache_key_includes_min_pts(self, scorer):
+        sc, _ = scorer
+        q = [[3.0, 3.0]]
+        sc.score_new(q, min_pts=4)
+        sc.score_new(q, min_pts=5)
+        assert sc.cache.hits == 0 and sc.cache.misses == 2
+
+    def test_use_cache_false_bypasses(self, scorer):
+        sc, _ = scorer
+        q = [[3.0, 3.0]]
+        a = sc.score_new(q, use_cache=False)
+        b = sc.score_new(q, use_cache=False)
+        assert np.array_equal(a, b)
+        assert sc.cache.hits == 0 and sc.cache.misses == 0
+
+
+class TestConcurrency:
+    def test_threads_bit_identical_and_counters_exact(self, scorer):
+        sc, _ = scorer
+        rng = np.random.default_rng(8)
+        Q = rng.uniform(0.0, 40.0, size=(10, 2))
+        serial = OnlineScorer(sc.model)  # fresh cache, same store
+        want = serial.score_new(Q)
+
+        n_threads, rounds = 8, 5
+        results = {}
+        errors = []
+        obs.enable()
+        obs.reset()
+
+        def hammer(tid):
+            try:
+                out = [sc.score_new(Q) for _ in range(rounds)]
+                results[tid] = out
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for out in results.values():
+            for arr in out:
+                assert np.array_equal(arr, want)
+        # Every distinct point is computed exactly once (the cache holds
+        # all 10), every other lookup hits: no wall-clock, no tolerance.
+        total = n_threads * rounds * len(Q)
+        assert sc.cache.misses == len(Q)
+        assert sc.cache.hits == total - len(Q)
+        assert obs.counter("serve.cache.misses") == len(Q)
+        assert obs.counter("serve.cache.hits") == total - len(Q)
+        assert obs.counter("serve.points_scored") == total
+
+
+class TestClassifyNew:
+    def test_bounds_bracket_exact_scores(self, scorer):
+        sc, _ = scorer
+        Q = np.random.default_rng(10).uniform(-5.0, 45.0, size=(25, 2))
+        res = sc.classify_new(Q, min_pts=6, threshold=1.5)
+        exact = sc.score_new(Q, min_pts=6, use_cache=False)
+        assert np.all(res.lower <= exact + 1e-12)
+        assert np.all(exact <= res.upper + 1e-12)
+        assert np.array_equal(res.labels, np.where(exact > 1.5, -1, 1))
+        assert res.pruned + res.exact == len(Q)
+        # Exact scores only where the bracket straddled the threshold.
+        assert np.all(np.isnan(res.scores[np.isnan(res.scores)]))
+
+    def test_obvious_points_pruned(self, scorer):
+        sc, _ = scorer
+        # Deep in the dense cluster and absurdly far away: both brackets
+        # should decide without the exact kernels.
+        obs.enable()
+        res = sc.classify_new(
+            [[40.0, 10.0], [1e4, 1e4]], min_pts=6, threshold=2.0
+        )
+        assert list(res.labels) == [1, -1]
+        assert res.pruned == 2 and res.exact == 0
+        assert obs.counter("serve.bounds.pruned") == 2
+        assert obs.counter("serve.bounds.exact") == 0
+
+    def test_grid_brackets_aggregated_score(self, scorer):
+        sc, _ = scorer
+        Q = np.random.default_rng(12).uniform(0.0, 40.0, size=(15, 2))
+        res = sc.classify_new(Q)
+        agg = sc.score_new(Q, use_cache=False)
+        assert np.all(res.lower <= agg + 1e-12)
+        assert np.all(agg <= res.upper + 1e-12)
+
+
+class TestHTTPServer:
+    @pytest.fixture
+    def server(self, fitted_store):
+        path, est = fitted_store
+        srv = make_server(path, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv, est
+        srv.shutdown()
+        srv.server_close()
+
+    def _request(self, srv, path, payload=None):
+        port = srv.server_address[1]
+        url = f"http://127.0.0.1:{port}{path}"
+        data = None if payload is None else json.dumps(payload).encode()
+        try:
+            with urllib.request.urlopen(
+                urllib.request.Request(url, data=data), timeout=10
+            ) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    def test_score_endpoint_matches_scorer(self, server):
+        srv, est = server
+        points = [[40.0, 10.0], [100.0, 100.0]]
+        status, body = self._request(srv, "/score", {"points": points})
+        assert status == 200
+        want = srv.scorer.score_new(np.asarray(points))
+        assert body["scores"] == [float(s) for s in want]
+        assert body["aggregate"] == "max"
+
+    def test_score_endpoint_single_min_pts(self, server):
+        srv, _ = server
+        status, body = self._request(
+            srv, "/score", {"points": [[40.0, 10.0]], "min_pts": 5}
+        )
+        assert status == 200 and body["min_pts"] == [5]
+
+    def test_health_model_stats(self, server):
+        srv, _ = server
+        status, body = self._request(srv, "/healthz")
+        assert (status, body["status"]) == (200, "ok")
+        status, body = self._request(srv, "/model")
+        assert status == 200 and body["kind"] == "estimator"
+        status, body = self._request(srv, "/stats")
+        assert status == 200 and "cache" in body
+
+    def test_malformed_requests_get_400(self, server):
+        srv, _ = server
+        port = srv.server_address[1]
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/score", data=b"{not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+        status, body = self._request(srv, "/score", {"points": [[1.0]]})
+        assert status == 400 and "features" in body["error"]
+        status, body = self._request(srv, "/score", {"wrong": 1})
+        assert status == 400
+
+    def test_unknown_path_404(self, server):
+        srv, _ = server
+        status, _ = self._request(srv, "/nope")
+        assert status == 404
+        status, _ = self._request(srv, "/nope", {"points": [[0.0, 0.0]]})
+        assert status == 404  # POST to anything but /score
+
+    def test_max_requests_shutdown(self, fitted_store):
+        path, _ = fitted_store
+        srv = make_server(path, port=0, max_requests=1)
+        thread = threading.Thread(target=srv.serve_forever)
+        thread.start()
+        status, _ = self._request(srv, "/score", {"points": [[0.0, 0.0]]})
+        assert status == 200
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        srv.server_close()

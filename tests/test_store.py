@@ -1,0 +1,355 @@
+"""The persistent model store: round-trips, memmap loads, corruption.
+
+The contract under test is exact: a save/load cycle — in-memory or
+memory-mapped — must reproduce every persisted quantity bit-for-bit,
+and any damaged file must raise a *typed* store error instead of ever
+producing scores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import LocalOutlierFactor, MaterializationDB, load_model, save_model
+from repro.exceptions import (
+    NotFittedError,
+    StoreCorruptionError,
+    StoreFormatError,
+    StoreMismatchError,
+    StoreVersionError,
+    ValidationError,
+)
+from repro.store import FORMAT_VERSION, MAGIC, read_header
+
+
+@pytest.fixture
+def mixed_density(two_density_clusters):
+    return two_density_clusters
+
+
+@pytest.fixture
+def tied_integer_data():
+    """Integer-valued coordinates with heavy distance ties — the worst
+    case for neighborhood determinism, and exactly reproducible across
+    distance-kernel implementations."""
+    rng = np.random.default_rng(11)
+    return rng.integers(0, 6, size=(48, 2)).astype(np.float64)
+
+
+def _store_roundtrip(tmp_path, X, duplicate_mode, mmap):
+    mat = MaterializationDB.materialize(X, 10, duplicate_mode=duplicate_mode)
+    fitted = {k: (mat.lrd(k), mat.lof(k)) for k in (4, 7, 10)}
+    kdist = mat.k_distances(10)
+    path = tmp_path / "m.rlof"
+    mat.save(path, X=X)
+    loaded = MaterializationDB.load(path, mmap=mmap)
+    return mat, fitted, kdist, loaded
+
+
+class TestMaterializationRoundTrip:
+    @pytest.mark.parametrize("mmap", [False, True], ids=["inmem", "memmap"])
+    @pytest.mark.parametrize("mode", ["inf", "distinct", "error"])
+    def test_bit_identical_vectors(self, tmp_path, tied_integer_data, mode, mmap):
+        X = tied_integer_data + np.linspace(0, 0.5, len(tied_integer_data))[:, None] * (
+            0.0 if mode != "error" else 1e-3
+        )
+        # 'error' mode cannot materialize MinPts-fold duplicates; jitter
+        # the integers apart for it, keep the exact ties for the others.
+        mat, fitted, kdist, loaded = _store_roundtrip(tmp_path, X, mode, mmap)
+        assert loaded.duplicate_mode == mode
+        assert np.array_equal(loaded.padded_ids, mat.padded_ids)
+        assert np.array_equal(loaded.padded_dists, mat.padded_dists)
+        assert np.array_equal(loaded.k_distances(10), kdist)
+        for k, (lrd, lof) in fitted.items():
+            assert np.array_equal(loaded.lrd(k), lrd)
+            assert np.array_equal(loaded.lof(k), lof)
+
+    @pytest.mark.parametrize("mmap", [False, True], ids=["inmem", "memmap"])
+    def test_ranking_preserved(self, tmp_path, mixed_density, mmap):
+        mat = MaterializationDB.materialize(mixed_density, 12)
+        path = tmp_path / "m.rlof"
+        mat.save(path)
+        loaded = MaterializationDB.load(path, mmap=mmap)
+        assert np.array_equal(
+            np.argsort(-loaded.lof(12), kind="stable"),
+            np.argsort(-mat.lof(12), kind="stable"),
+        )
+
+    def test_uncached_values_recomputable_after_load(self, tmp_path, mixed_density):
+        mat = MaterializationDB.materialize(mixed_density, 12)
+        want = mat.lof(5)
+        path = tmp_path / "m.rlof"
+        # Save WITHOUT having computed k=5: the loaded M recomputes it
+        # from the persisted graph, identically.
+        fresh = MaterializationDB.materialize(mixed_density, 12)
+        fresh.save(path)
+        assert np.array_equal(MaterializationDB.load(path).lof(5), want)
+
+    def test_snapshotless_store_has_no_X(self, tmp_path, mixed_density):
+        mat = MaterializationDB.materialize(mixed_density, 6)
+        path = tmp_path / "m.rlof"
+        mat.save(path)
+        model = load_model(path)
+        assert model.X is None
+        with pytest.raises(StoreMismatchError):
+            model.require_snapshot()
+
+    def test_snapshot_row_count_checked(self, tmp_path, mixed_density):
+        mat = MaterializationDB.materialize(mixed_density, 6)
+        with pytest.raises(ValidationError):
+            mat.save(tmp_path / "m.rlof", X=mixed_density[:-1])
+
+
+class TestEstimatorRoundTrip:
+    @pytest.mark.parametrize("mmap", [False, True], ids=["inmem", "memmap"])
+    def test_full_reload(self, tmp_path, mixed_density, mmap):
+        est = LocalOutlierFactor(min_pts=(4, 9), aggregate="mean").fit(mixed_density)
+        path = tmp_path / "est.rlof"
+        est.save(path)
+        back = LocalOutlierFactor.load(path, mmap=mmap)
+        assert np.array_equal(back.scores_, est.scores_)
+        assert np.array_equal(back.lof_matrix_, est.lof_matrix_)
+        assert np.array_equal(back.min_pts_values_, est.min_pts_values_)
+        assert np.array_equal(back.predict(), est.predict())
+        assert np.array_equal(back.X_, est.X_)
+        assert back.aggregate == "mean"
+        assert back.threshold == est.threshold
+        assert [e.index for e in back.rank(top_n=5)] == [
+            e.index for e in est.rank(top_n=5)
+        ]
+
+    def test_unfitted_estimator_refuses_to_save(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            LocalOutlierFactor().save(tmp_path / "x.rlof")
+
+    def test_estimator_load_rejects_bare_materialization(
+        self, tmp_path, mixed_density
+    ):
+        MaterializationDB.materialize(mixed_density, 6).save(tmp_path / "m.rlof")
+        with pytest.raises(StoreMismatchError):
+            LocalOutlierFactor.load(tmp_path / "m.rlof")
+
+    def test_materialization_load_accepts_estimator_store(
+        self, tmp_path, mixed_density
+    ):
+        est = LocalOutlierFactor(min_pts=(4, 8)).fit(mixed_density)
+        est.save(tmp_path / "est.rlof")
+        mat = MaterializationDB.load(tmp_path / "est.rlof")
+        assert np.array_equal(mat.lof(8), est.materialization_.lof(8))
+
+
+class TestCorruption:
+    @pytest.fixture
+    def store_bytes(self, tmp_path, mixed_density):
+        path = tmp_path / "est.rlof"
+        LocalOutlierFactor(min_pts=(4, 6)).fit(mixed_density).save(path)
+        return path, bytearray(path.read_bytes())
+
+    def test_payload_bitflip(self, tmp_path, store_bytes):
+        _, blob = store_bytes
+        blob[-3] ^= 0x01
+        bad = tmp_path / "bad.rlof"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorruptionError, match="checksum"):
+            load_model(bad)
+
+    def test_truncated_file(self, tmp_path, store_bytes):
+        _, blob = store_bytes
+        bad = tmp_path / "trunc.rlof"
+        bad.write_bytes(bytes(blob[: len(blob) // 2]))
+        with pytest.raises(StoreCorruptionError, match="truncated"):
+            load_model(bad)
+
+    def test_truncated_header(self, tmp_path, store_bytes):
+        _, blob = store_bytes
+        bad = tmp_path / "header.rlof"
+        bad.write_bytes(bytes(blob[:30]))
+        with pytest.raises(StoreCorruptionError):
+            load_model(bad)
+
+    def test_bad_magic(self, tmp_path, store_bytes):
+        _, blob = store_bytes
+        bad = tmp_path / "magic.rlof"
+        bad.write_bytes(b"NOTASTOR" + bytes(blob[8:]))
+        with pytest.raises(StoreFormatError):
+            load_model(bad)
+
+    def test_not_even_a_header(self, tmp_path):
+        bad = tmp_path / "tiny.rlof"
+        bad.write_bytes(b"xy")
+        with pytest.raises(StoreFormatError):
+            load_model(bad)
+
+    def test_unknown_version(self, tmp_path, store_bytes):
+        _, blob = store_bytes
+        bad = tmp_path / "ver.rlof"
+        bad.write_bytes(
+            bytes(blob[:8]) + (FORMAT_VERSION + 1).to_bytes(4, "little")
+            + bytes(blob[12:])
+        )
+        with pytest.raises(StoreVersionError):
+            load_model(bad)
+
+    def test_header_bitflip(self, tmp_path, store_bytes):
+        _, blob = store_bytes
+        # Corrupt inside the JSON header region (byte 40 is well within
+        # it for any real store).
+        blob[40] = 0x00
+        bad = tmp_path / "json.rlof"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises((StoreCorruptionError, StoreFormatError)):
+            load_model(bad)
+
+    def test_read_header_is_cheap_and_typed(self, store_bytes):
+        path, _ = store_bytes
+        header = read_header(path)
+        assert header["kind"] == "estimator"
+        assert header["format_version"] == FORMAT_VERSION
+        names = {s["name"] for s in header["sections"]}
+        assert {"padded_ids", "padded_dists", "X", "scores"} <= names
+
+    def test_magic_constant_shape(self):
+        assert MAGIC == b"REPROLOF" and len(MAGIC) == 8
+
+
+class TestMetadata:
+    def test_stored_model_properties(self, tmp_path, mixed_density):
+        mat = MaterializationDB.materialize(mixed_density, 6)
+        mat.save(tmp_path / "m.rlof", X=mixed_density)
+        model = load_model(tmp_path / "m.rlof")
+        assert model.n_points == len(mixed_density)
+        assert model.min_pts_ub == 6
+        assert model.kind == "materialization"
+
+    def test_minkowski_metric_round_trip(self, tmp_path, mixed_density):
+        from repro.index.metrics import MinkowskiMetric
+
+        metric = MinkowskiMetric(p=3.0)
+        mat = MaterializationDB.materialize(mixed_density, 5, metric=metric)
+        want = mat.lof(5)
+        mat.save(tmp_path / "m.rlof", X=mixed_density, metric=metric)
+        model = load_model(tmp_path / "m.rlof")
+        back = model.metric_object()
+        assert back.name == "minkowski" and back.p == 3.0
+        assert np.array_equal(model.mat.lof(5), want)
+
+    def test_named_metric_round_trip(self, tmp_path, mixed_density):
+        est = LocalOutlierFactor(min_pts=(4, 6), metric="manhattan").fit(
+            mixed_density
+        )
+        est.save(tmp_path / "m.rlof")
+        back = LocalOutlierFactor.load(tmp_path / "m.rlof")
+        assert back.metric.name == "manhattan"
+        assert np.array_equal(back.scores_, est.scores_)
+
+    def test_verify_false_skips_checksums(self, tmp_path, mixed_density):
+        mat = MaterializationDB.materialize(mixed_density, 6)
+        want = mat.lof(6)
+        mat.save(tmp_path / "m.rlof")
+        assert np.array_equal(
+            load_model(tmp_path / "m.rlof", verify=False).mat.lof(6), want
+        )
+
+    def test_save_model_rejects_estimator_plus_X(self, tmp_path, mixed_density):
+        est = LocalOutlierFactor(min_pts=(4, 6)).fit(mixed_density)
+        with pytest.raises(ValidationError, match="do not pass"):
+            save_model(tmp_path / "x.rlof", est, X=mixed_density)
+
+    def test_save_model_rejects_unknown_types(self, tmp_path):
+        with pytest.raises(ValidationError, match="accepts"):
+            save_model(tmp_path / "x.rlof", object())
+
+    def test_save_without_snapshot_attribute_rejected(self, tmp_path, mixed_density):
+        est = LocalOutlierFactor(min_pts=(4, 6)).fit(mixed_density)
+        est.X_ = None
+        with pytest.raises(ValidationError, match="snapshot"):
+            est.save(tmp_path / "x.rlof")
+
+
+def _rewrite_header(path, out, mutate):
+    """Re-encode a store's JSON header after applying ``mutate`` to it
+    (sections become unreadable, but header validation fires first)."""
+    import json as _json
+
+    blob = path.read_bytes()
+    hlen = int.from_bytes(blob[16:24], "little")
+    header = _json.loads(blob[24 : 24 + hlen].decode())
+    mutate(header)
+    new = _json.dumps(header).encode()
+    out.write_bytes(
+        blob[:16] + len(new).to_bytes(8, "little") + new + blob[24 + hlen :]
+    )
+    return out
+
+
+class TestHeaderValidation:
+    @pytest.fixture
+    def store_path(self, tmp_path, mixed_density):
+        path = tmp_path / "m.rlof"
+        MaterializationDB.materialize(mixed_density, 5).save(path)
+        return path
+
+    def test_unknown_kind_rejected(self, tmp_path, store_path):
+        bad = _rewrite_header(
+            store_path, tmp_path / "kind.rlof",
+            lambda h: h.update(kind="sandwich"),
+        )
+        with pytest.raises(StoreFormatError, match="kind"):
+            read_header(bad)
+
+    def test_missing_section_table_rejected(self, tmp_path, store_path):
+        bad = _rewrite_header(
+            store_path, tmp_path / "tbl.rlof", lambda h: h.pop("sections")
+        )
+        with pytest.raises(StoreCorruptionError, match="section table"):
+            read_header(bad)
+
+    def test_shape_nbytes_mismatch_rejected(self, tmp_path, store_path):
+        def mutate(header):
+            header["sections"][0]["shape"][0] += 1
+
+        bad = _rewrite_header(store_path, tmp_path / "shape.rlof", mutate)
+        with pytest.raises(StoreCorruptionError, match="declares shape"):
+            load_model(bad, verify=False)
+
+    def test_missing_required_section_rejected(self, tmp_path, store_path):
+        def mutate(header):
+            header["sections"] = [
+                s for s in header["sections"] if s["name"] != "padded_ids"
+            ]
+
+        bad = _rewrite_header(store_path, tmp_path / "req.rlof", mutate)
+        with pytest.raises(StoreCorruptionError, match="padded_ids"):
+            load_model(bad, verify=False)
+
+
+@settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    X=st.integers(min_value=10, max_value=24).flatmap(
+        lambda n: arrays(
+            dtype=np.float64,
+            shape=(n, 2),
+            elements=st.integers(min_value=0, max_value=7).map(float),
+        )
+    ),
+    k=st.integers(2, 5),
+    mmap=st.booleans(),
+)
+def test_roundtrip_property(tmp_path_factory, X, k, mmap):
+    """Property: for arbitrary tie-heavy integer corpora, save → load
+    reproduces lrd/LOF/k-distance bit-for-bit in both load modes."""
+    if len(np.unique(X, axis=0)) <= k:
+        X = X + np.arange(len(X), dtype=np.float64)[:, None] * 0.125
+    mat = MaterializationDB.materialize(X, k, duplicate_mode="inf")
+    lof = mat.lof(k)
+    lrd = mat.lrd(k)
+    path = tmp_path_factory.mktemp("prop") / "m.rlof"
+    save_model(path, mat, X=X)
+    loaded = load_model(path, mmap=mmap).mat
+    assert np.array_equal(loaded.lof(k), lof)
+    assert np.array_equal(loaded.lrd(k), lrd)
+    assert np.array_equal(loaded.k_distances(k), mat.k_distances(k))
