@@ -29,6 +29,10 @@ sweep
     ``repro-lof sweep data.mat --min-pts 10 50``
 demo
     Run the Figure 9 synthetic demo end to end and print its ranking.
+lint
+    Run the repro.lint invariant analyzer over the tree; remaining
+    arguments pass through to ``python -m repro.lint``:
+    ``repro-lof lint -- --format json src tests``
 
 Any subcommand accepts the top-level ``--profile`` flag, which runs it
 inside an instrumentation scope (:mod:`repro.obs`) and emits the
@@ -238,6 +242,17 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Lazy import: the analyzer is a dev-facing surface; scoring
+    # commands must not pay for it.
+    from .lint.cli import main as lint_main
+
+    passthrough = list(args.lint_args)
+    if passthrough and passthrough[0] == "--":
+        passthrough = passthrough[1:]
+    return lint_main(passthrough)
+
+
 def _cmd_demo(args) -> int:
     dataset = make_fig9_dataset(seed=args.seed)
     est = LocalOutlierFactor(min_pts=40).fit(dataset.X)
@@ -378,6 +393,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo = sub.add_parser("demo", help="run the Figure 9 synthetic demo")
     p_demo.add_argument("--seed", type=int, default=0)
     p_demo.set_defaults(func=_cmd_demo)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repro.lint invariant analyzer over the tree"
+    )
+    p_lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="arguments passed through to python -m repro.lint "
+             "(prefix with -- to forward flags)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

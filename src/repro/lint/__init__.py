@@ -1,0 +1,52 @@
+"""repro.lint — AST-based invariant analyzer for the repro codebase.
+
+The repository rests on architectural invariants that no runtime test
+can fully guard: exactly one scoring kernel behind every surface, a
+strict ``index → graph → kernel → surfaces`` import order, an exact
+obs-counter registry, a typed exception taxonomy at the store/serve
+trust boundary, lock discipline in the online scorer, and determinism
+rules (no wall-clock asserts, no unseeded RNG, no float ``==`` on score
+arrays). This package turns each of those contracts into a first-class
+static-analysis rule with a stable ID (``RL001`` …), run as::
+
+    python -m repro.lint [paths ...]          # default: src tests
+    repro-lof lint                            # CLI subcommand
+
+Findings can be suppressed per line with ``# reprolint: disable=RL001``
+(comma-separate several IDs) or for a whole file with a standalone
+``# reprolint: disable-file=RL001`` comment; every suppression should
+carry a reason. See ``docs/static-analysis.md`` for the rule catalog.
+
+Programmatic use (what ``tests/test_layering.py`` does)::
+
+    from repro.lint import lint_paths
+    report = lint_paths(["src", "tests"], root=PROJECT_ROOT)
+    assert not report.findings
+"""
+
+from .engine import (
+    Finding,
+    FileContext,
+    LintReport,
+    Project,
+    Rule,
+    lint_paths,
+    lint_source,
+)
+from .rules import RULES, get_rules
+from .obsreg import generate_registry_source, scan_producers, write_registry
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintReport",
+    "Project",
+    "Rule",
+    "RULES",
+    "get_rules",
+    "lint_paths",
+    "lint_source",
+    "generate_registry_source",
+    "scan_producers",
+    "write_registry",
+]

@@ -1,0 +1,128 @@
+"""Command-line front door: ``python -m repro.lint`` / ``repro-lof lint``.
+
+Exit codes follow the library convention: 0 clean, 1 non-suppressed
+finding(s), 2 usage error (unknown rule ID, no files matched).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import (
+    DEFAULT_EXCLUDES,
+    FileContext,
+    Project,
+    collect_files,
+    find_project_root,
+    lint_paths,
+)
+from .obsreg import write_registry
+from .rules import RULES, get_rules
+
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant analyzer for the repro codebase: one "
+            "scoring kernel, import layering, obs-counter registry, "
+            "exception taxonomy, lock discipline, determinism rules"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="project root (default: nearest ancestor containing src/repro)",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS", default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="IDS", default=None,
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--write-obs-registry", action="store_true",
+        help="regenerate src/repro/obs_registry.py from producer sites "
+             "in src/ and exit",
+    )
+    return parser
+
+
+def _split(blob: Optional[str]) -> Optional[List[str]]:
+    if blob is None:
+        return None
+    return [part.strip() for part in blob.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+
+    root = find_project_root(Path(args.root) if args.root else None)
+
+    if args.write_obs_registry:
+        files = collect_files(["src"], root, DEFAULT_EXCLUDES)
+        contexts = [
+            FileContext(
+                p.resolve().relative_to(root.resolve()).as_posix(),
+                p.read_text(),
+                path=p,
+            )
+            for p in files
+        ]
+        target = write_registry(Project(root, contexts))
+        print(f"wrote obs registry to {target}")
+        return 0
+
+    try:
+        rules = get_rules(select=_split(args.select), ignore=_split(args.ignore))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    report = lint_paths(args.paths, root=root, rules=rules)
+    if report.files_checked == 0:
+        print(f"error: no python files found under {args.paths}", file=sys.stderr)
+        return EXIT_USAGE
+
+    payload = report.to_json() if args.format == "json" else report.to_text()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote lint report to {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0 if report.ok else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,375 @@
+"""Analyzer core: file/project contexts, suppressions, rule runner.
+
+The engine itself is dependency-free (stdlib ``ast`` + ``tokenize``
+only — it parses the tree, it never imports it), so analysis cost is
+one parse per file. Every rule sees two artifacts:
+
+* a :class:`FileContext` per file — AST (with parent links), raw
+  source, the comment map, and the parsed ``# reprolint:`` directives;
+* the :class:`Project` — all contexts of the run plus the project
+  root, for whole-tree rules (registry staleness, kernel presence).
+
+Findings carry ``(rule id, path, line, col, message)``; the runner
+drops findings suppressed by a same-line ``# reprolint: disable=RLxxx``
+or a file-level ``# reprolint: disable-file=RLxxx`` directive and
+reports the rest sorted by location.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintReport",
+    "Project",
+    "Rule",
+    "find_project_root",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Directories never collected by path walks (fixture snippets contain
+#: deliberate violations; caches are noise).
+DEFAULT_EXCLUDES = ("__pycache__", "tests/lint/fixtures")
+
+_DISABLE_LINE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+_DISABLE_FILE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  # project-root-relative posix path
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Everything a rule may ask about one source file."""
+
+    def __init__(self, rel: str, text: str, path: Optional[Path] = None):
+        self.rel = rel  # posix path relative to the project root
+        self.path = path
+        self.text = text
+        self.module = module_name_for(rel)
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(text)
+        except SyntaxError as exc:
+            self.tree = None
+            self.syntax_error = exc
+        if self.tree is not None:
+            _link_parents(self.tree)
+        #: {lineno: full comment text} — ast drops comments, rules
+        #: (suppressions, lock-guarded markers) need them.
+        self.comments: Dict[int, str] = {}
+        self.line_disables: Dict[int, Set[str]] = {}
+        self.file_disables: Set[str] = set()
+        self._scan_comments()
+
+    # -- comments & suppressions ------------------------------------------
+
+    def _scan_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                line = tok.start[0]
+                self.comments[line] = self.comments.get(line, "") + tok.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for line, comment in self.comments.items():
+            m = _DISABLE_FILE.search(comment)
+            if m:
+                self.file_disables.update(_split_ids(m.group(1)))
+                continue
+            m = _DISABLE_LINE.search(comment)
+            if m:
+                self.line_disables.setdefault(line, set()).update(
+                    _split_ids(m.group(1))
+                )
+
+    def comment_on(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_disables:
+            return True
+        return rule_id in self.line_disables.get(line, set())
+
+    # -- convenience -------------------------------------------------------
+
+    def in_src(self) -> bool:
+        return self.rel.startswith("src/")
+
+    def in_tests(self) -> bool:
+        return self.rel.startswith("tests/")
+
+    def finding(self, rule_id: str, node, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule_id, self.rel, line, col, message)
+
+
+class Project:
+    """The full set of files in one lint run."""
+
+    def __init__(self, root: Path, contexts: Sequence[FileContext]):
+        self.root = root
+        self.contexts = list(contexts)
+        self._by_module = {
+            ctx.module: ctx for ctx in self.contexts if ctx.module
+        }
+        self._by_rel = {ctx.rel: ctx for ctx in self.contexts}
+
+    def module(self, name: str) -> Optional[FileContext]:
+        return self._by_module.get(name)
+
+    def rel(self, rel: str) -> Optional[FileContext]:
+        return self._by_rel.get(rel)
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``name``/``summary`` and
+    override :meth:`check_file` and/or :meth:`check_project`."""
+
+    id: str = "RL000"
+    name: str = "base"
+    summary: str = ""
+
+    def check_file(self, ctx: FileContext, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class LintReport:
+    """Outcome of a run: surviving findings plus suppression stats."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        lines.append(
+            f"repro.lint: {len(self.findings)} finding(s), "
+            f"{self.suppressed} suppressed, {self.files_checked} file(s), "
+            f"rules {', '.join(self.rules_run)}"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "findings": [f.to_dict() for f in self.findings],
+                "suppressed": self.suppressed,
+                "files_checked": self.files_checked,
+                "rules_run": self.rules_run,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _split_ids(blob: str) -> Set[str]:
+    return {part.strip() for part in blob.split(",") if part.strip()}
+
+
+def _link_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._reprolint_parent = node  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_reprolint_parent", None)
+
+
+def enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    cur = parent_of(node)
+    while cur is not None:
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return cur
+        cur = parent_of(cur)
+    return None
+
+
+def module_name_for(rel: str) -> Optional[str]:
+    """Dotted module name for files under ``src/`` (None elsewhere)."""
+    if not rel.startswith("src/"):
+        return None
+    parts = Path(rel).parts[1:]  # drop "src"
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    parts = list(parts)
+    last = parts.pop()[: -len(".py")]
+    if last != "__init__":
+        parts.append(last)
+    return ".".join(parts) if parts else None
+
+
+def find_project_root(start: Optional[Path] = None) -> Path:
+    """Nearest ancestor containing ``src/repro`` (the repo layout)."""
+    cur = (start or Path.cwd()).resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for candidate in (cur, *cur.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return cur
+
+
+def _is_excluded(rel: str, excludes: Sequence[str]) -> bool:
+    parts = rel.split("/")
+    for pattern in excludes:
+        if "/" in pattern:
+            if rel == pattern or rel.startswith(pattern + "/"):
+                return True
+        elif pattern in parts:
+            return True
+    return False
+
+
+def collect_files(
+    paths: Sequence, root: Path, excludes: Sequence[str] = DEFAULT_EXCLUDES
+) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    out: Set[Path] = set()
+    for entry in paths:
+        p = Path(entry)
+        if not p.is_absolute():
+            p = root / p
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                rel = _rel_to(sub, root)
+                if not _is_excluded(rel, excludes):
+                    out.add(sub.resolve())
+        elif p.suffix == ".py" and p.exists():
+            # Explicitly named files bypass the default excludes — that
+            # is how the fixture suite lints its known-bad snippets.
+            out.add(p.resolve())
+    return sorted(out)
+
+
+def _rel_to(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# ---------------------------------------------------------------------------
+# runners
+
+
+def _run(project: Project, rules: Sequence[Rule]) -> LintReport:
+    report = LintReport(
+        files_checked=len(project.contexts),
+        rules_run=[r.id for r in rules],
+    )
+    raw: List[Finding] = []
+    for ctx in project.contexts:
+        if ctx.syntax_error is not None:
+            raw.append(
+                Finding(
+                    "RL000",
+                    ctx.rel,
+                    ctx.syntax_error.lineno or 1,
+                    ctx.syntax_error.offset or 0,
+                    f"file does not parse: {ctx.syntax_error.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            raw.extend(rule.check_file(ctx, project))
+    for rule in rules:
+        raw.extend(rule.check_project(project))
+    for finding in raw:
+        ctx = project.rel(finding.path)
+        if (
+            finding.rule != "RL000"
+            and ctx is not None
+            and ctx.is_suppressed(finding.rule, finding.line)
+        ):
+            report.suppressed += 1
+        else:
+            report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+def lint_paths(
+    paths: Sequence,
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+) -> LintReport:
+    """Lint files/directories (relative paths resolve against ``root``)."""
+    from .rules import get_rules
+
+    root = find_project_root(root) if root is None else Path(root)
+    files = collect_files(paths, root, excludes)
+    contexts = []
+    for path in files:
+        text = path.read_text()
+        contexts.append(FileContext(_rel_to(path, root), text, path=path))
+    project = Project(root, contexts)
+    return _run(project, list(rules) if rules is not None else get_rules())
+
+
+def lint_source(
+    text: str,
+    rel: str = "src/repro/_snippet.py",
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint an in-memory snippet as if it lived at ``rel``.
+
+    The fixture tests use this to exercise each rule on known-good and
+    known-bad code without planting violating files in the tree. ``rel`` does nothing
+    magic — it just selects which path-scoped rules apply.
+    """
+    from .rules import get_rules
+
+    root = find_project_root(root) if root is None else Path(root)
+    ctx = FileContext(rel, text)
+    project = Project(root, [ctx])
+    return _run(project, list(rules) if rules is not None else get_rules())

@@ -1,0 +1,166 @@
+"""Obs-counter registry: scan producer sites, (re)generate the module.
+
+The registry (`src/repro/obs_registry.py`) is *generated* from the
+counter/span names actually produced in ``src/`` — literal first
+arguments of ``obs.incr(...)`` / ``obs.span(...)`` — plus the two
+counters the fused :func:`repro.obs.record_kernel` fast path bumps by
+direct dict access. Rule ``RL003`` then checks two directions:
+
+* every literal name at any producer *or consumer* site (``obs.incr``,
+  ``obs.counter``, ``obs.span``, and ``snapshot["counters"]["…"]`` /
+  ``["timers"]["…"]`` subscripts) must be declared in the registry —
+  a typo'd name silently records or reads nothing, which is exactly
+  the failure class the rule exists to catch;
+* the registry must equal the scanned producer set — adding a counter
+  without regenerating (``python -m repro.lint --write-obs-registry``)
+  is a finding, so the checked-in registry diff is always reviewed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Set, Tuple
+
+from .engine import FileContext, Project
+
+__all__ = [
+    "RECORD_KERNEL_COUNTERS",
+    "REGISTRY_REL",
+    "scan_producers",
+    "generate_registry_source",
+    "write_registry",
+]
+
+#: Counters produced by ``repro.obs.record_kernel`` via direct dict
+#: writes (the fused fast path has no ``obs.incr`` call to scan).
+RECORD_KERNEL_COUNTERS = ("distance.kernel_calls", "distance.evaluations")
+
+REGISTRY_REL = "src/repro/obs_registry.py"
+
+_HEADER = '''"""Registry of every obs counter and span name (GENERATED).
+
+Regenerate with ``python -m repro.lint --write-obs-registry`` whenever a
+producer site is added or removed; the RL003 lint rule fails if this
+file is stale or if any literal counter/span name used in ``src/`` or
+``tests/`` is not declared here. See ``docs/static-analysis.md``.
+"""
+
+'''
+
+
+def obs_call_name(node: ast.Call) -> Optional[Tuple[str, Optional[str]]]:
+    """``(method, literal-name-or-None)`` if ``node`` is an obs call.
+
+    Recognizes ``obs.incr/counter/span`` attribute calls and bare
+    ``incr/counter/span`` names (the ``from repro import obs`` idiom is
+    universal in this repo, but fixtures may import the functions).
+    Returns None for calls that are not obs API; the literal slot is
+    None when the first argument is not a string constant (dynamic
+    names, e.g. the worker-counter merge loop, are out of scope).
+    """
+    func = node.func
+    method = None
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "obs"
+        and func.attr in ("incr", "counter", "span")
+    ):
+        method = func.attr
+    if method is None:
+        return None
+    if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+        node.args[0].value, str
+    ):
+        return method, node.args[0].value
+    return method, None
+
+
+def snapshot_subscript_name(node: ast.Subscript) -> Optional[Tuple[str, str]]:
+    """``("counters"|"timers", name)`` for ``x["counters"]["name"]``."""
+    outer_key = _const_str(node.slice)
+    if outer_key is None:
+        return None
+    inner = node.value
+    if not isinstance(inner, ast.Subscript):
+        return None
+    kind = _const_str(inner.slice)
+    if kind in ("counters", "timers"):
+        return kind, outer_key
+    return None
+
+
+def _const_str(node) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def scan_producers(contexts: Iterable[FileContext]) -> Tuple[Set[str], Set[str]]:
+    """(counters, spans) produced by literal obs calls in ``src/``."""
+    counters: Set[str] = set(RECORD_KERNEL_COUNTERS)
+    spans: Set[str] = set()
+    for ctx in contexts:
+        if not ctx.in_src() or ctx.tree is None:
+            continue
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            hit = obs_call_name(node)
+            if hit is None or hit[1] is None:
+                continue
+            method, name = hit
+            if method == "incr":
+                counters.add(name)
+            elif method == "span":
+                spans.add(name)
+    return counters, spans
+
+
+def generate_registry_source(counters: Set[str], spans: Set[str]) -> str:
+    lines = [_HEADER]
+    lines.append("COUNTERS = (\n")
+    for name in sorted(counters):
+        lines.append(f"    {name!r},\n")
+    lines.append(")\n\nSPANS = (\n")
+    for name in sorted(spans):
+        lines.append(f"    {name!r},\n")
+    lines.append(")\n")
+    return "".join(lines)
+
+
+def write_registry(project: Project) -> Path:
+    """Regenerate ``src/repro/obs_registry.py`` from producer sites."""
+    counters, spans = scan_producers(project.contexts)
+    target = project.root / REGISTRY_REL
+    target.write_text(generate_registry_source(counters, spans))
+    return target
+
+
+def declared_names(project: Project) -> Optional[Tuple[Set[str], Set[str]]]:
+    """(counters, spans) declared in the registry module.
+
+    Parsed from the registry file under the project root (not imported:
+    lint must see the tree being linted, not the installed package).
+    Returns None when no registry file exists there.
+    """
+    path = project.root / REGISTRY_REL
+    if not path.exists():
+        return None
+    try:
+        tree = ast.parse(path.read_text())
+    except SyntaxError:
+        return None
+    found = {"COUNTERS": set(), "SPANS": set()}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in found:
+                if isinstance(node.value, (ast.Tuple, ast.List)):
+                    for elt in node.value.elts:
+                        value = _const_str(elt)
+                        if value is not None:
+                            found[target.id].add(value)
+    return found["COUNTERS"], found["SPANS"]

@@ -1,0 +1,34 @@
+"""Registry of every obs counter and span name (GENERATED).
+
+Regenerate with ``python -m repro.lint --write-obs-registry`` whenever a
+producer site is added or removed; the RL003 lint rule fails if this
+file is stale or if any literal counter/span name used in ``src/`` or
+``tests/`` is not declared here. See ``docs/static-analysis.md``.
+"""
+
+COUNTERS = (
+    'distance.evaluations',
+    'distance.kernel_calls',
+    'graph.builds',
+    'index.node_visits',
+    'index.supernode_overflows',
+    'knn.batch_queries',
+    'knn.queries',
+    'materialize.blocks',
+    'mscan.passes',
+    'serve.bounds.exact',
+    'serve.bounds.pruned',
+    'serve.cache.hits',
+    'serve.cache.misses',
+    'serve.points_scored',
+    'store.loads',
+    'store.saves',
+)
+
+SPANS = (
+    'estimator.materialize',
+    'estimator.sweep',
+    'materialize.batched',
+    'materialize.fast',
+    'materialize.query_loop',
+)

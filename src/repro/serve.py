@@ -182,9 +182,9 @@ class OnlineScorer:
                 f"unknown aggregate {self.aggregate!r} in store metadata"
             )
         self.threshold = float(meta.get("threshold", 1.5))
-        self.cache = LRUCache(cache_size)
+        self.cache = LRUCache(cache_size)  # reprolint: lock-guarded
         self._lock = threading.RLock()
-        self._extrema: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._extrema: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}  # reprolint: lock-guarded
 
     @classmethod
     def from_path(
@@ -461,7 +461,9 @@ class OnlineScorer:
         sub = np.lexsort((members, drow[members]))
         return members[sub].astype(np.int64), drow[members][sub], float(radius)
 
-    def _reach_extrema(self, k: int):
+    def _reach_extrema(self, k: int):  # reprolint: holds-lock
+        # Only reached from score paths that already serialize on
+        # self._lock; the cache dict itself must never be touched bare.
         if k not in self._extrema:
             self._extrema[k] = reach_extrema(self.mat, k)
         return self._extrema[k]
@@ -486,7 +488,7 @@ class _ModelHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.scorer = scorer
         self.max_requests = max_requests
-        self._served = 0
+        self._served = 0  # reprolint: lock-guarded
         self._served_lock = threading.Lock()
 
     def note_scored(self) -> None:

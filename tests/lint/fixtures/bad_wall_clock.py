@@ -1,0 +1,14 @@
+"""Known-bad fixture: wall-clock timing in a test file (RL006).
+
+This directory is excluded from default lint walks; the CLI tests name
+this file explicitly to exercise the non-zero exit path end to end.
+Not prefixed ``test_`` so pytest never collects it.
+"""
+
+import time
+
+
+def test_materialize_is_fast():
+    t0 = time.perf_counter()
+    t1 = time.perf_counter()
+    assert t1 - t0 < 0.5

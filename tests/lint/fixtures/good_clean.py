@@ -1,0 +1,14 @@
+"""Known-good fixture: a test file every rule accepts.
+
+Named explicitly by the CLI tests to exercise the exit-0 path on a
+file outside the default walk. Not prefixed ``test_`` so pytest never
+collects it.
+"""
+
+import numpy as np
+
+
+def test_scores_are_bit_identical():
+    lof = np.ones(4)
+    other = np.ones(4)
+    assert np.array_equal(lof, other)

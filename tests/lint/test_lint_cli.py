@@ -1,0 +1,133 @@
+"""CLI and self-check tests for repro.lint.
+
+The self-check is the anchor: the analyzer must run clean on this very
+tree, which is what the CI ``lint`` job enforces. The CLI tests pin the
+exit-code contract (0 clean / 1 findings / 2 usage error) on the
+on-disk fixtures under ``tests/lint/fixtures/``.
+"""
+
+import json
+import subprocess
+import sys
+
+from repro.lint import (
+    generate_registry_source,
+    lint_paths,
+    scan_producers,
+)
+from repro.lint.cli import main
+from repro.lint.engine import FileContext, collect_files, find_project_root
+from repro.lint.obsreg import REGISTRY_REL
+
+ROOT = find_project_root()
+FIXTURES = "tests/lint/fixtures"
+
+
+class TestSelfCheck:
+    def test_repo_lints_clean(self):
+        report = lint_paths(["src", "tests"], root=ROOT)
+        assert report.ok, report.to_text()
+        assert report.files_checked > 100
+        assert report.rules_run == [f"RL00{i}" for i in range(1, 9)]
+
+    def test_obs_registry_is_current(self):
+        # Regenerating the registry from producer sites must reproduce
+        # the committed file byte for byte.
+        files = collect_files(["src"], ROOT)
+        contexts = [
+            FileContext(
+                p.resolve().relative_to(ROOT.resolve()).as_posix(),
+                p.read_text(),
+                path=p,
+            )
+            for p in files
+        ]
+        counters, spans = scan_producers(contexts)
+        expected = generate_registry_source(counters, spans)
+        assert (ROOT / REGISTRY_REL).read_text() == expected
+
+    def test_fixture_dir_excluded_from_default_walk(self):
+        report = lint_paths(["tests"], root=ROOT)
+        assert not any(FIXTURES in f.path for f in report.findings)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        rc = main([f"{FIXTURES}/good_clean.py", "--root", str(ROOT)])
+        assert rc == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_rule_id_and_location(self, capsys):
+        rc = main([f"{FIXTURES}/bad_wall_clock.py", "--root", str(ROOT)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RL006" in out
+        assert f"{FIXTURES}/bad_wall_clock.py:" in out  # file:line prefix
+
+    def test_unknown_rule_exits_two(self, capsys):
+        rc = main(["src", "--select", "RL999", "--root", str(ROOT)])
+        assert rc == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_no_files_matched_exits_two(self, tmp_path, capsys):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        rc = main(["nowhere", "--root", str(tmp_path)])
+        assert rc == 2
+        assert "no python files" in capsys.readouterr().err
+
+
+class TestOutputFormats:
+    def test_json_format_parses(self, capsys):
+        rc = main(
+            [f"{FIXTURES}/bad_wall_clock.py", "--format", "json",
+             "--root", str(ROOT)]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "RL006"
+        assert {"path", "line", "col", "message"} <= set(payload["findings"][0])
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = main(
+            [f"{FIXTURES}/good_clean.py", "--format", "json",
+             "--output", str(out), "--root", str(ROOT)]
+        )
+        assert rc == 0
+        assert json.loads(out.read_text())["ok"] is True
+        assert str(out) in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        rc = main(["--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rule_id in (f"RL00{i}" for i in range(1, 9)):
+            assert rule_id in out
+
+    def test_select_and_ignore(self, capsys):
+        rc = main(
+            [f"{FIXTURES}/bad_wall_clock.py", "--ignore", "RL006",
+             "--root", str(ROOT)]
+        )
+        assert rc == 0
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_reports_findings(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint",
+             f"{FIXTURES}/bad_wall_clock.py"],
+            capture_output=True, text=True, cwd=ROOT,
+        )
+        assert proc.returncode == 1
+        assert "RL006" in proc.stdout
+
+    def test_repro_cli_lint_subcommand(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint",
+             f"{FIXTURES}/good_clean.py"],
+            capture_output=True, text=True, cwd=ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "0 finding(s)" in proc.stdout

@@ -1,113 +1,64 @@
-"""Layering lint: ONE scoring kernel, acyclic core.
+"""Layering invariants, enforced through :mod:`repro.lint`.
 
-Two architectural invariants of the columnar refactor, enforced
-mechanically (the CI ``layering`` job runs this file on its own):
+Historically this file carried its own token/regex scanner for the
+one-kernel contract and an ad-hoc AST walk for core-layer imports.
+Both checks now live in the analyzer as first-class rules — RL001
+(one-kernel) and RL002 (import layering) — with fixture coverage under
+``tests/lint/``. This file keeps the invariants wired into the default
+test run as thin wrappers over the programmatic API, so a layering
+regression fails ``pytest`` even without the CI ``lint`` job.
 
-1. **Ratio-math containment.** The lrd/LOF arithmetic — sequential
-   ``np.add.reduceat`` row sums and any ``lrd / lrd``-shaped division —
-   exists in exactly one module, ``src/repro/core/scoring.py``. The one
-   deliberate exception is ``core/reference.py``, the naive oracle kept
-   independent for differential testing. Everything else must call the
-   kernels, or bit-identity across surfaces silently rots.
+The contracts themselves are unchanged:
 
-2. **Layer direction.** ``repro.core`` is below ``repro.analysis`` and
-   ``repro.datasets``; no core module may import from either.
+1. **Ratio-math containment (RL001).** The lrd/LOF arithmetic —
+   sequential ``np.add.reduceat`` row sums and any ``lrd / lrd``-shaped
+   division — exists in exactly one module,
+   ``src/repro/core/scoring.py``, with ``core/reference.py`` (the naive
+   differential-testing oracle) as the sole deliberate exception.
+   RL001's project-level check also guards the guard: ``scoring.py``
+   must still contain the reduceat kernel, or containment would pass
+   vacuously.
 
-Comments and string literals (docstrings included) are stripped before
-pattern matching, so prose may freely *mention* the formulas.
+2. **Layer direction (RL002).** index → graph → kernel → surfaces, no
+   upward imports; and ``repro.core`` may never depend on
+   ``repro.analysis`` or ``repro.datasets``.
 """
 
-import ast
-import io
-import re
-import tokenize
-from pathlib import Path
+from repro.lint import lint_paths
+from repro.lint.engine import find_project_root
+from repro.lint.rules import get_rules
 
-import pytest
-
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-KERNEL_MODULE = SRC / "core" / "scoring.py"
-ORACLE_MODULE = SRC / "core" / "reference.py"
-
-# Signatures of reimplemented scoring math. ``np.add.reduceat`` is the
-# row-sum primitive every kernel is built on; the division patterns are
-# the lrd ratio (Definition 7) and the count/sum density division
-# (Definition 6) in the shapes they appeared in before the refactor.
-FORBIDDEN_CODE_PATTERNS = [
-    (re.compile(r"np\.add\.reduceat"), "np.add.reduceat row-sum kernel"),
-    (re.compile(r"\blrd\w*(\[[^\]]*\])?\s*/\s*(self\._)?lrd"), "lrd/lrd ratio"),
-    (re.compile(r"\blen\(reach\w*\)\s*/"), "count/sum lrd division"),
-    (re.compile(r"\bcounts\s*/\s*sums\b"), "count/sum lrd division"),
-]
-
-FORBIDDEN_CORE_IMPORTS = ("repro.analysis", "repro.datasets")
+ROOT = find_project_root()
 
 
-def _code_only(path: Path) -> str:
-    """Source with comments and all string literals removed."""
-    text = path.read_text()
-    out = []
-    for tok in tokenize.generate_tokens(io.StringIO(text).readline):
-        if tok.type in (tokenize.COMMENT, tokenize.STRING):
-            continue
-        out.append(tok.string)
-    return " ".join(out)
+def _run(rule_id):
+    return lint_paths(["src"], root=ROOT, rules=get_rules(select=[rule_id]))
 
 
-def _module_files():
-    return sorted(SRC.rglob("*.py"))
+def test_scoring_math_only_in_kernel():
+    report = _run("RL001")
+    assert report.ok, report.to_text()
+    # The rule actually ran over the tree (not an empty collection) and
+    # its guard-the-guard project check saw the kernel module.
+    assert report.files_checked > 50
+    assert report.rules_run == ["RL001"]
 
 
-def _core_files():
-    return sorted((SRC / "core").glob("*.py"))
-
-
-@pytest.mark.parametrize(
-    "path", [p for p in _module_files() if p not in (KERNEL_MODULE, ORACLE_MODULE)],
-    ids=lambda p: str(p.relative_to(SRC)),
-)
-def test_scoring_math_only_in_kernel(path):
-    code = _code_only(path)
-    for pattern, label in FORBIDDEN_CODE_PATTERNS:
-        match = pattern.search(code)
-        assert match is None, (
-            f"{path.relative_to(SRC)} reimplements scoring math ({label}: "
-            f"{match.group(0)!r}); route it through repro.core.scoring"
-        )
+def test_import_layering_holds():
+    report = _run("RL002")
+    assert report.ok, report.to_text()
+    assert report.rules_run == ["RL002"]
 
 
 def test_kernel_module_actually_contains_the_math():
-    # Guard the guard: if scoring.py is ever refactored away, the
-    # containment test above would pass vacuously.
-    code = _code_only(KERNEL_MODULE)
-    assert "np . add . reduceat" in code or "np.add.reduceat" in code.replace(" ", "")
+    # Guard the guard, explicitly: strip the reduceat call out of
+    # scoring.py and RL001's project check must complain.
+    from repro.lint.engine import FileContext, Project
+    from repro.lint.rules import RULES
 
-
-@pytest.mark.parametrize(
-    "path", _core_files(), ids=lambda p: str(p.relative_to(SRC))
-)
-def test_core_does_not_import_upper_layers(path):
-    tree = ast.parse(path.read_text())
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            names = [alias.name for alias in node.names]
-        elif isinstance(node, ast.ImportFrom):
-            if node.level >= 2:
-                # ``from .. import X`` / ``from ..pkg import X`` inside
-                # repro/core resolves against the repro package root.
-                base = node.module or ""
-                names = [f"repro.{base}"] + [
-                    f"repro.{base}.{alias.name}" if base else f"repro.{alias.name}"
-                    for alias in node.names
-                ]
-            else:
-                names = [node.module or ""]
-        else:
-            continue
-        for name in names:
-            for forbidden in FORBIDDEN_CORE_IMPORTS:
-                assert not name.startswith(forbidden), (
-                    f"{path.relative_to(SRC)} imports {name!r}: core/ must "
-                    f"not depend on {forbidden} (see docs/architecture.md)"
-                )
+    gutted = FileContext(
+        "src/repro/core/scoring.py",
+        "def lrd_values(reach, offsets):\n    return reach.sum()\n",
+    )
+    findings = list(RULES["RL001"].check_project(Project(ROOT, [gutted])))
+    assert any("vacuously" in f.message for f in findings)

@@ -5,6 +5,10 @@ and exactly deterministic when on; these tests pin both contracts, plus
 JSON round-tripping and basic thread safety.
 """
 
+# reprolint: disable-file=RL003 — this file tests the obs framework
+# itself with synthetic counter/span names ("some.counter", "kept", ...)
+# that deliberately exist nowhere in the production registry.
+
 import json
 import threading
 
