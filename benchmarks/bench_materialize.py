@@ -14,13 +14,23 @@ PRs append runs next to it and compare):
     ``query_batch_with_ties`` per block of queries; on the brute backend
     one distance-kernel invocation per block.
 ``fast``
-    :func:`repro.core.fast_materialize` — blocked pairwise + vectorized
-    tie-inclusive selection, no index front door at all.
+    :func:`repro.core.fast_materialize` — the chunked argkmin engine
+    with ``strategy="auto"``: whole ``block_size × n`` slabs while they
+    fit the tile budget, cache-bounded tiles beyond.
+``chunked``
+    :func:`repro.core.fast_materialize` with ``strategy="chunked"`` —
+    the tiled merge forced on, peak temporary memory bounded by
+    ``--tile-bytes`` regardless of n. This is the only front-door path
+    run at very large n (above ``--max-loop-n`` the per-object paths
+    are skipped: a 100k query loop takes minutes and teaches nothing).
 
-Every run records wall-clock seconds (context, *never* asserted) next to
-the deterministic :mod:`repro.obs` counters (the actual contract:
-``distance.kernel_calls``, ``distance.evaluations``, ``knn.queries``,
-``knn.batch_queries``, ``materialize.blocks``). A ``derived`` section
+Every run records wall-clock seconds and the process peak RSS
+(``resource.getrusage`` — the OS high-water mark, monotone across the
+rows of one harness invocation; context, *never* asserted) next to the
+deterministic :mod:`repro.obs` counters and span timers (the actual
+contract: ``distance.kernel_calls``, ``distance.evaluations``,
+``knn.queries``, ``knn.batch_queries``, ``materialize.blocks``,
+``argkmin.tiles``, ``argkmin.tile_bytes``). A ``derived`` section
 reports the kernel-call ratio of ``query_loop`` over ``batched`` per
 size — the acceptance trajectory number.
 
@@ -28,6 +38,10 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_materialize.py \
         --sizes 500 1000 2000 --n-jobs 1 2 --out BENCH_materialize.json
+
+    # the memory-envelope demonstration row:
+    PYTHONPATH=src python benchmarks/bench_materialize.py \
+        --sizes 500 1000 2000 100000 --paths query_loop batched fast chunked
 
     # CI schema check of an emitted file:
     python benchmarks/bench_materialize.py --validate BENCH_materialize.json
@@ -38,15 +52,18 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import resource
 import sys
 import time
 
 import numpy as np
 
-SCHEMA = "repro.bench.materialize/v1"
+SCHEMA = "repro.bench.materialize/v2"
 
 #: required keys (and types) of every result record — the CI smoke job
-#: validates emitted files against this.
+#: validates emitted files against this. v2 adds ``peak_rss_kb`` (from
+#: ``resource.getrusage``) and the obs span ``timers`` next to v1's
+#: wall-clock and counters.
 RESULT_FIELDS = {
     "n": int,
     "dim": int,
@@ -56,11 +73,13 @@ RESULT_FIELDS = {
     "block_size": int,
     "n_jobs": int,
     "wall_s": float,
+    "peak_rss_kb": int,
     "counters": dict,
+    "timers": dict,
 }
 
 
-def _run_one(path, X, ub, block_size, n_jobs, index_name):
+def _run_one(path, X, ub, block_size, n_jobs, index_name, tile_bytes):
     from repro import obs
     from repro.core import fast_materialize, materialize, materialize_batched
 
@@ -72,6 +91,11 @@ def _run_one(path, X, ub, block_size, n_jobs, index_name):
         )
     elif path == "fast":
         fn = lambda: fast_materialize(X, ub, block_size=block_size, n_jobs=n_jobs)
+    elif path == "chunked":
+        fn = lambda: fast_materialize(
+            X, ub, block_size=block_size, strategy="chunked",
+            tile_bytes=tile_bytes, n_threads=n_jobs,
+        )
     else:
         raise ValueError(f"unknown path {path!r}")
 
@@ -79,8 +103,11 @@ def _run_one(path, X, ub, block_size, n_jobs, index_name):
     with obs.collect() as snap:
         db = fn()
     wall = time.perf_counter() - t0
+    # Process high-water RSS (KB on Linux): monotone within one harness
+    # invocation, so the value after a run bounds that run's footprint.
+    peak_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
     assert db.n_points == X.shape[0]
-    return wall, snap["counters"]
+    return wall, peak_rss_kb, snap["counters"], snap["timers"]
 
 
 def run(args) -> dict:
@@ -89,9 +116,17 @@ def run(args) -> dict:
         X = np.random.default_rng(args.seed).normal(size=(n, args.dim))
         ub = min(args.min_pts_ub, n - 1)
         for path in args.paths:
+            if path in ("query_loop", "batched") and n > args.max_loop_n:
+                print(
+                    f"n={n:>6} path={path:<10} skipped (> --max-loop-n "
+                    f"{args.max_loop_n}; per-object front door)",
+                    file=sys.stderr,
+                )
+                continue
             for n_jobs in args.n_jobs:
-                wall, counters = _run_one(
-                    path, X, ub, args.block_size, n_jobs, args.index
+                wall, peak_rss_kb, counters, timers = _run_one(
+                    path, X, ub, args.block_size, n_jobs, args.index,
+                    args.tile_bytes,
                 )
                 results.append(
                     {
@@ -99,17 +134,28 @@ def run(args) -> dict:
                         "dim": args.dim,
                         "min_pts_ub": ub,
                         "path": path,
-                        "index": args.index if path != "fast" else "none",
+                        "index": args.index
+                        if path not in ("fast", "chunked") else "none",
                         "block_size": args.block_size,
                         "n_jobs": n_jobs,
                         "wall_s": round(wall, 6),
+                        "peak_rss_kb": peak_rss_kb,
                         "counters": counters,
+                        "timers": {
+                            name: {
+                                "count": rec["count"],
+                                "total_s": round(rec["total_s"], 6),
+                            }
+                            for name, rec in timers.items()
+                        },
                     }
                 )
                 print(
                     f"n={n:>6} path={path:<10} n_jobs={n_jobs} "
-                    f"wall={wall:8.4f}s kernel_calls="
-                    f"{counters.get('distance.kernel_calls', 0)}",
+                    f"wall={wall:8.4f}s peak_rss={peak_rss_kb / 1024:7.1f}MB "
+                    f"kernel_calls="
+                    f"{counters.get('distance.kernel_calls', 0)} "
+                    f"tile_bytes={counters.get('argkmin.tile_bytes', 0)}",
                     file=sys.stderr,
                 )
 
@@ -143,6 +189,8 @@ def run(args) -> dict:
             "paths": args.paths,
             "index": args.index,
             "seed": args.seed,
+            "tile_bytes": args.tile_bytes,
+            "max_loop_n": args.max_loop_n,
         },
         "environment": {
             "python": platform.python_version(),
@@ -183,6 +231,18 @@ def validate(payload) -> list:
             isinstance(v, int) for v in counters.values()
         ):
             problems.append(f"results[{i}].counters values must be integers")
+        rss = record.get("peak_rss_kb")
+        if isinstance(rss, int) and rss <= 0:
+            problems.append(f"results[{i}].peak_rss_kb must be positive")
+        timers = record.get("timers")
+        if isinstance(timers, dict) and not all(
+            isinstance(v, dict) and {"count", "total_s"} <= set(v)
+            for v in timers.values()
+        ):
+            problems.append(
+                f"results[{i}].timers values must be "
+                "{{'count': int, 'total_s': float}} records"
+            )
     return problems
 
 
@@ -198,7 +258,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--paths", nargs="+", default=["query_loop", "batched", "fast"],
-        choices=["query_loop", "batched", "fast"],
+        choices=["query_loop", "batched", "fast", "chunked"],
+    )
+    parser.add_argument(
+        "--tile-bytes", type=int, default=None, metavar="BYTES",
+        help="chunked-path tile budget (default: the engine's 8 MiB)",
+    )
+    parser.add_argument(
+        "--max-loop-n", type=int, default=5000, metavar="N",
+        help="skip the per-object paths (query_loop, batched) above this "
+             "size — they scale O(n) Python calls and teach nothing at "
+             "100k (default: 5000)",
     )
     parser.add_argument("--index", default="brute")
     parser.add_argument("--seed", type=int, default=0)

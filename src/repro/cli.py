@@ -91,9 +91,16 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help="distance metric: euclidean, manhattan, chebyshev",
     )
     parser.add_argument(
+        "--engine", choices=("loop", "batched", "chunked"), default="loop",
+        help="materialization engine (default: loop; 'chunked' is the "
+             "cache-budgeted argkmin engine — sequential scan, --index "
+             "ignored; identical scores either way)",
+    )
+    parser.add_argument(
         "--n-jobs", type=int, default=None, metavar="N",
         help="parallel workers for the materialization step "
-             "(default: serial; -1 = one per CPU; results are identical)",
+             "(default: serial; -1 = one per CPU; with --engine chunked "
+             "this is the thread count; results are identical)",
     )
 
 
@@ -111,6 +118,7 @@ def _fit(args, X) -> LocalOutlierFactor:
         aggregate=args.aggregate,
         metric=args.metric,
         index=args.index,
+        engine=args.engine,
         n_jobs=args.n_jobs,
     )
     return est.fit(X)
@@ -147,6 +155,7 @@ def _cmd_fit(args) -> int:
         index=args.index,
         duplicate_mode=args.duplicate_mode,
         threshold=args.threshold,
+        engine=args.engine,
         n_jobs=args.n_jobs,
     ).fit(X)
     est.save(args.out)
@@ -205,7 +214,24 @@ def _cmd_topn(args) -> int:
 
 def _cmd_materialize(args) -> int:
     X, _ = load_dataset(args.dataset)
-    if args.batched:
+    if args.batched and args.chunked:
+        print("error: --batched and --chunked are mutually exclusive",
+              file=sys.stderr)
+        return EXIT_USER_ERROR
+    if args.chunked:
+        from .core.blocked import fast_materialize
+
+        mat = fast_materialize(
+            X,
+            args.min_pts_ub,
+            metric=args.metric,
+            block_size=args.block_size,
+            duplicate_mode=args.duplicate_mode,
+            strategy="auto",
+            tile_bytes=args.tile_bytes,
+            n_threads=args.n_jobs,
+        )
+    elif args.batched:
         mat = MaterializationDB.materialize_batched(
             X,
             args.min_pts_ub,
@@ -377,7 +403,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_mat.add_argument(
         "--block-size", type=int, default=512, metavar="B",
-        help="query rows per batched block (default: 512)",
+        help="query rows per batched/chunked block (default: 512)",
+    )
+    p_mat.add_argument(
+        "--chunked", action="store_true",
+        help="build through the cache-budgeted chunked argkmin engine "
+             "(sequential scan; --index ignored; --n-jobs sets the "
+             "thread fan-out); mutually exclusive with --batched",
+    )
+    p_mat.add_argument(
+        "--tile-bytes", type=int, default=None, metavar="BYTES",
+        help="with --chunked: per-tile distance-slab byte budget "
+             "(default: 8 MiB)",
     )
     p_mat.set_defaults(func=_cmd_materialize)
 

@@ -42,9 +42,17 @@ class LocalOutlierFactor:
     threshold : scores strictly greater than this are flagged by
         :meth:`predict`; LOF ~ 1 means "in a cluster", so a threshold of
         1.5 (used by the paper's soccer study) is a reasonable default.
-    n_jobs : process-pool parallelism for the materialization step
-        (``None``/1 serial, ``-1`` one worker per CPU). Scores are
-        bit-identical for every value; see ``docs/performance.md``.
+    engine : materialization engine — ``'loop'`` (default; the
+        per-object query loop against ``index``), ``'batched'`` (the
+        batched index front door), or ``'chunked'`` (the cache-budgeted
+        argkmin engine of :mod:`repro.index.argkmin`; always
+        sequential-scan, ``index`` is ignored). All three produce
+        identical neighbor sets and LOF values.
+    n_jobs : worker parallelism for the materialization step
+        (``None``/1 serial, ``-1`` one worker per CPU). The loop and
+        batched engines shard across a fork pool; the chunked engine
+        fans row-chunks across threads. Scores are bit-identical for
+        every value; see ``docs/performance.md``.
     profile : when True, :meth:`fit` runs inside an isolated
         :func:`repro.obs.collect` scope and stores the resulting
         counter/timer snapshot (a JSON-serializable dict) on
@@ -84,6 +92,7 @@ class LocalOutlierFactor:
         duplicate_mode: str = "inf",
         threshold: float = 1.5,
         profile: bool = False,
+        engine: str = "loop",
         n_jobs=None,
     ):
         self.min_pts = min_pts
@@ -93,6 +102,7 @@ class LocalOutlierFactor:
         self.duplicate_mode = duplicate_mode
         self.threshold = float(threshold)
         self.profile = bool(profile)
+        self.engine = engine
         self.n_jobs = n_jobs
         self._result: Optional[RangeLOFResult] = None
         self.materialization_: Optional[MaterializationDB] = None
@@ -116,14 +126,41 @@ class LocalOutlierFactor:
         self.X_ = X
         lb, ub = self._resolve_range(X.shape[0])
         with obs.span("estimator.materialize"):
-            self.materialization_ = MaterializationDB.materialize(
-                X,
-                ub,
-                index=self.index,
-                metric=self.metric,
-                duplicate_mode=self.duplicate_mode,
-                n_jobs=self.n_jobs,
-            )
+            if self.engine == "loop":
+                self.materialization_ = MaterializationDB.materialize(
+                    X,
+                    ub,
+                    index=self.index,
+                    metric=self.metric,
+                    duplicate_mode=self.duplicate_mode,
+                    n_jobs=self.n_jobs,
+                )
+            elif self.engine == "batched":
+                self.materialization_ = MaterializationDB.materialize_batched(
+                    X,
+                    ub,
+                    index=self.index,
+                    metric=self.metric,
+                    duplicate_mode=self.duplicate_mode,
+                    n_jobs=self.n_jobs,
+                )
+            elif self.engine == "chunked":
+                # Sequential-scan only: the chunked argkmin engine is its
+                # own substrate; the ``index`` parameter does not apply.
+                from .blocked import fast_materialize
+
+                self.materialization_ = fast_materialize(
+                    X,
+                    ub,
+                    metric=self.metric,
+                    duplicate_mode=self.duplicate_mode,
+                    n_threads=self.n_jobs,
+                )
+            else:
+                raise ValidationError(
+                    "engine must be 'loop', 'batched' or 'chunked', "
+                    f"got {self.engine!r}"
+                )
         with obs.span("estimator.sweep"):
             self._result = lof_range(
                 min_pts_lb=lb,

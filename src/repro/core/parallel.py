@@ -1,38 +1,52 @@
-"""Process-pool sharding for the materialization engine.
+"""Worker-pool sharding for the materialization engine.
 
 Section 7.4's step 1 is embarrassingly parallel: every object's k-NN
 query (or every distance-matrix block) is independent of the others, and
-the dataset is read-only. This module fans independent shards across a
-``multiprocessing`` pool using the **fork** start method, so workers
-inherit the dataset (and any fitted index) as copy-on-write memory —
-nothing is pickled on the way in except the shard descriptors.
+the dataset is read-only. This module provides two fan-out primitives:
+
+:func:`map_sharded`
+    a ``multiprocessing`` pool using the **fork** start method, so
+    workers inherit the dataset (and any fitted index) as copy-on-write
+    memory — nothing is pickled on the way in except the shard
+    descriptors. Used by the per-object query loop, whose cost is
+    Python-level and therefore GIL-bound.
+:func:`map_threaded`
+    a thread pool sharing this process. Used by the chunked argkmin
+    engine (:mod:`repro.index.argkmin`), whose per-tile cost is NumPy /
+    BLAS kernels that release the GIL — threads avoid the fork pool's
+    process spin-up and counter-merging entirely.
 
 Determinism contract
 --------------------
 Shard results are returned in submission order and every shard computes
 exactly what the serial path computes for its rows, so parallel and
 serial materialization are **bit-identical** — the pool changes wall
-clock, never values.
+clock, never values. This holds for both primitives.
 
 Instrumentation contract
 ------------------------
-Workers run their shard inside an isolated :func:`repro.obs.collect`
-scope and ship the scoped counters back with the payload;
-:func:`map_sharded` merges them into the parent registry via
-``obs.incr``. Counter totals (``distance.kernel_calls``,
+Fork workers run their shard inside an isolated
+:func:`repro.obs.collect` scope and ship the scoped counters back with
+the payload; :func:`map_sharded` merges them into the parent registry
+via ``obs.incr``. Counter totals (``distance.kernel_calls``,
 ``materialize.blocks``, ``knn.queries``, ...) therefore match the serial
 run exactly — profiles stay truthful under ``n_jobs > 1``. Worker span
 *timers* are deliberately dropped: per-process wall clock does not add
-up across a pool.
+up across a pool. Thread workers need no merge step at all: the obs
+registry is process-global and lock-guarded, so their increments land
+directly and totals are identical to a serial run (counter increments
+are additive and order-independent).
 
 On platforms without ``fork`` (e.g. Windows), ``map_sharded`` silently
 degrades to the serial path — same results, no parallelism.
+``map_threaded`` works everywhere.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Sequence, TypeVar
 
 import numpy as np
@@ -43,7 +57,25 @@ from ..exceptions import ValidationError
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["resolve_n_jobs", "fork_available", "map_sharded"]
+__all__ = [
+    "resolve_n_jobs",
+    "resolve_n_threads",
+    "fork_available",
+    "map_sharded",
+    "map_threaded",
+]
+
+
+def _resolve_worker_count(value, name: str) -> int:
+    if value is None:
+        return 1
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer or None, got {value!r}")
+    if value == -1:
+        return max(1, os.cpu_count() or 1)
+    if value < 1:
+        raise ValidationError(f"{name} must be >= 1 or -1, got {value}")
+    return int(value)
 
 
 def resolve_n_jobs(n_jobs) -> int:
@@ -52,15 +84,16 @@ def resolve_n_jobs(n_jobs) -> int:
     ``None`` means serial (1); ``-1`` means one worker per available
     CPU; any other value must be a positive integer.
     """
-    if n_jobs is None:
-        return 1
-    if not isinstance(n_jobs, (int, np.integer)) or isinstance(n_jobs, bool):
-        raise ValidationError(f"n_jobs must be an integer or None, got {n_jobs!r}")
-    if n_jobs == -1:
-        return max(1, os.cpu_count() or 1)
-    if n_jobs < 1:
-        raise ValidationError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
-    return int(n_jobs)
+    return _resolve_worker_count(n_jobs, "n_jobs")
+
+
+def resolve_n_threads(n_threads) -> int:
+    """Normalize an ``n_threads`` parameter to a thread count >= 1.
+
+    Same convention as :func:`resolve_n_jobs`: ``None`` serial, ``-1``
+    one thread per available CPU, otherwise a positive integer.
+    """
+    return _resolve_worker_count(n_threads, "n_threads")
 
 
 def fork_available() -> bool:
@@ -108,3 +141,21 @@ def map_sharded(fn: Callable[[T], R], tasks: Sequence[T], n_jobs: int) -> List[R
             obs.incr(name, value)
         payloads.append(payload)
     return payloads
+
+
+def map_threaded(fn: Callable[[T], R], tasks: Sequence[T], n_threads: int) -> List[R]:
+    """``[fn(t) for t in tasks]``, fanned across a thread pool.
+
+    Results come back in task order; exceptions propagate. With
+    ``n_threads <= 1`` or a single task, ``fn`` runs inline. Threads
+    share the process-global obs registry (lock-guarded), so counter
+    totals match a serial run without any merge step — but per-task
+    instrumentation must be additive: a task may ``obs.incr``, never
+    read-modify-write a counter.
+    """
+    tasks = list(tasks)
+    n_threads = min(n_threads, len(tasks))
+    if n_threads <= 1:
+        return [fn(t) for t in tasks]
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        return list(pool.map(fn, tasks))

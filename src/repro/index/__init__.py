@@ -21,6 +21,7 @@ name       class                                        paper role
 Use :func:`make_index` to construct one by name.
 """
 
+from .argkmin import argkmin_self, argkmin_with_ties
 from .base import (
     Neighborhood,
     NNIndex,
@@ -48,6 +49,8 @@ from .vafile import VAFileIndex
 from .xtree import XTreeIndex
 
 __all__ = [
+    "argkmin_self",
+    "argkmin_with_ties",
     "Neighborhood",
     "NNIndex",
     "QueryStats",

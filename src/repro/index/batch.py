@@ -124,10 +124,16 @@ def apply_exclusions(D: np.ndarray, exclude: np.ndarray, col_offset: int = 0) ->
     """Set ``D[i, exclude[i] - col_offset] = inf`` for every row whose
     ``exclude`` entry is a valid id (entries ``< 0`` mean "no exclusion").
 
-    ``col_offset`` supports blocks of a square self-distance matrix where
-    ``D``'s columns start at a global id other than 0 — pass the global
-    exclusion ids and the block's column origin.
+    ``col_offset`` supports blocks (or tiles) of a distance matrix whose
+    columns start at a global id other than 0 — pass the global
+    exclusion ids and the block's column origin. Exclusion targets that
+    fall outside ``D``'s column window are ignored: the chunked argkmin
+    engine applies the same global exclusion vector to every y-tile, and
+    each target belongs to exactly one tile.
     """
-    active = np.flatnonzero(exclude >= 0)
+    local = exclude - col_offset
+    active = np.flatnonzero(
+        (exclude >= 0) & (local >= 0) & (local < D.shape[1])
+    )
     if len(active):
-        D[active, exclude[active] - col_offset] = np.inf
+        D[active, local[active]] = np.inf

@@ -14,13 +14,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .argkmin import argkmin_with_ties
 from .base import Neighborhood, NNIndex, register_index
-from .batch import (
-    apply_exclusions,
-    pack_padded,
-    select_tie_inclusive,
-    tie_threshold,
-)
+from .batch import pack_padded, tie_threshold
 
 
 @register_index
@@ -70,26 +66,33 @@ class BruteForceIndex(NNIndex):
         idx = np.flatnonzero(dists <= radius)
         return self._sort_result(idx, dists[idx])
 
-    # -- batched scan: one pairwise matmul + argpartition per call ----------
-
-    def _batch_distances(self, Q: np.ndarray, exclude: np.ndarray) -> np.ndarray:
-        """The whole batch's distance block in a single kernel call —
-        this is what makes the batched brute path O(m·n) work but O(1)
-        Python overhead instead of m sequential scans."""
-        D = self.metric.pairwise(Q, self._X)
-        self.stats.distance_evaluations += Q.shape[0] * self._X.shape[0]
-        apply_exclusions(D, exclude)
-        return D
+    # -- batched scan: the chunked argkmin engine -----------------------------
+    #
+    # Batch queries route through :func:`repro.index.argkmin.argkmin_with_ties`.
+    # The knobs below are class-level defaults a caller may override on an
+    # instance; with ``batch_strategy="auto"`` small batches resolve to the
+    # classic single-kernel whole-matrix path (one pairwise matmul + one
+    # tie-inclusive selection), and only budget-exceeding batches tile.
+    batch_strategy: str = "auto"
+    tile_bytes: Optional[int] = None
+    n_threads = None
 
     def _query_batch(self, Q, k, exclude) -> Tuple[np.ndarray, np.ndarray]:
-        D = self._batch_distances(Q, exclude)
-        flat_ids, flat_dists, counts = select_tie_inclusive(D, k)
-        ids, dists = pack_padded(flat_ids, flat_dists, counts)
+        ids, dists = self._query_batch_with_ties(Q, k, exclude)
         # The tie-inclusive rows are (distance, id)-sorted, so keeping the
         # first k matches the per-query truncation semantics exactly.
         return ids[:, :k], dists[:, :k]
 
     def _query_batch_with_ties(self, Q, k, exclude) -> Tuple[np.ndarray, np.ndarray]:
-        D = self._batch_distances(Q, exclude)
-        flat_ids, flat_dists, counts = select_tie_inclusive(D, k)
+        flat_ids, flat_dists, counts = argkmin_with_ties(
+            Q,
+            self._X,
+            k,
+            metric=self.metric,
+            exclude=exclude,
+            strategy=self.batch_strategy,
+            tile_bytes=self.tile_bytes,
+            n_threads=self.n_threads,
+        )
+        self.stats.distance_evaluations += Q.shape[0] * self._X.shape[0]
         return pack_padded(flat_ids, flat_dists, counts)

@@ -26,6 +26,43 @@ from .. import obs
 from ..exceptions import ValidationError
 
 
+def euclidean_tile(
+    X64: np.ndarray,
+    Y64: np.ndarray,
+    xx: np.ndarray,
+    yy: np.ndarray,
+) -> np.ndarray:
+    """THE shared expanded-form Euclidean tile kernel.
+
+    Computes ``sqrt(||x||^2 + ||y||^2 - 2 <x, y>)`` for one (tile of a)
+    distance matrix, with the exact-duplicate zero-snap applied. Both
+    the whole-matrix path (:meth:`EuclideanMetric._pairwise`) and the
+    chunked argkmin engine's per-tile path run through this one
+    function, so float32-origin tiles keep the paper's duplicate
+    semantics (lrd = inf needs true zero distances) exactly like the
+    whole-matrix path does.
+
+    Parameters
+    ----------
+    X64, Y64 : float64 row blocks (callers own the upcast).
+    xx, yy : squared norms of the rows, shaped ``(m, 1)`` and ``(1, n)``
+        so they broadcast over the tile.
+    """
+    sq = xx + yy - 2.0 * (X64 @ Y64.T)
+    np.maximum(sq, 0.0, out=sq)
+    # Cancellation leaves exact duplicates at ~1 ulp of ||x||^2
+    # instead of 0, which would silently break the paper's duplicate
+    # semantics downstream (lrd = inf needs true zero distances).
+    # Entries that are suspiciously small relative to their scale are
+    # re-checked exactly and snapped to zero — only bitwise-equal
+    # rows are corrected, everything else is untouched.
+    suspect_rows, suspect_cols = np.nonzero(sq <= 1e-10 * np.maximum(xx, yy))
+    if len(suspect_rows):
+        equal = np.all(X64[suspect_rows] == Y64[suspect_cols], axis=1)
+        sq[suspect_rows[equal], suspect_cols[equal]] = 0.0
+    return np.sqrt(sq)
+
+
 class Metric:
     """Abstract distance metric.
 
@@ -61,6 +98,26 @@ class Metric:
         obs.record_kernel(X.shape[0] * Y.shape[0])
         return self._pairwise(X, Y)
 
+    def tile_kernel(self, X: np.ndarray, Y: np.ndarray):
+        """Instrumented per-tile distance kernel for the chunked argkmin
+        engine (:mod:`repro.index.argkmin`).
+
+        Returns a callable ``tile(x0, x1, y0, y1)`` producing the
+        ``(x1 - x0, y1 - y0)`` distance block between those row ranges
+        of ``X`` and ``Y``. Inputs may be float32; accumulation is
+        always float64 (the upcast happens once, here). Each tile is
+        one instrumented kernel invocation, keeping the distance
+        chokepoint contract intact under tiling.
+        """
+        X64 = np.ascontiguousarray(X, dtype=np.float64)
+        Y64 = X64 if Y is X else np.ascontiguousarray(Y, dtype=np.float64)
+
+        def tile(x0: int, x1: int, y0: int, y1: int) -> np.ndarray:
+            obs.record_kernel((x1 - x0) * (y1 - y0))
+            return self._tile(X64, Y64, x0, x1, y0, y1)
+
+        return tile
+
     # -- kernels (subclass hooks) -------------------------------------------
 
     def _distance(self, p: np.ndarray, q: np.ndarray) -> float:
@@ -74,6 +131,9 @@ class Metric:
         for j in range(Y.shape[0]):
             out[:, j] = self._pairwise_to_point(X, Y[j])
         return out
+
+    def _tile(self, X64, Y64, x0: int, x1: int, y0: int, y1: int) -> np.ndarray:
+        return self._pairwise(X64[x0:x1], Y64[y0:y1])
 
     def min_distance_to_rect(
         self, q: np.ndarray, lo: np.ndarray, hi: np.ndarray
@@ -105,22 +165,29 @@ class EuclideanMetric(Metric):
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
     def _pairwise(self, X, Y):
-        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped against rounding.
+        # ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y, clipped against
+        # rounding, with the exact-duplicate zero-snap — all in the one
+        # shared tile kernel the chunked argkmin path also uses.
         xx = np.einsum("ij,ij->i", X, X)[:, None]
         yy = np.einsum("ij,ij->i", Y, Y)[None, :]
-        sq = xx + yy - 2.0 * (X @ Y.T)
-        np.maximum(sq, 0.0, out=sq)
-        # Cancellation leaves exact duplicates at ~1 ulp of ||x||^2
-        # instead of 0, which would silently break the paper's duplicate
-        # semantics downstream (lrd = inf needs true zero distances).
-        # Entries that are suspiciously small relative to their scale are
-        # re-checked exactly and snapped to zero — only bitwise-equal
-        # rows are corrected, everything else is untouched.
-        suspect_rows, suspect_cols = np.nonzero(sq <= 1e-10 * np.maximum(xx, yy))
-        if len(suspect_rows):
-            equal = np.all(X[suspect_rows] == Y[suspect_cols], axis=1)
-            sq[suspect_rows[equal], suspect_cols[equal]] = 0.0
-        return np.sqrt(sq)
+        return euclidean_tile(X, Y, xx, yy)
+
+    def tile_kernel(self, X, Y):
+        # Row norms are computed once over the full arrays and sliced
+        # per tile: einsum row reductions are row-local, so the sliced
+        # values are bit-identical to per-block recomputation.
+        X64 = np.ascontiguousarray(X, dtype=np.float64)
+        Y64 = X64 if Y is X else np.ascontiguousarray(Y, dtype=np.float64)
+        xx = np.einsum("ij,ij->i", X64, X64)
+        yy = xx if Y64 is X64 else np.einsum("ij,ij->i", Y64, Y64)
+
+        def tile(x0, x1, y0, y1):
+            obs.record_kernel((x1 - x0) * (y1 - y0))
+            return euclidean_tile(
+                X64[x0:x1], Y64[y0:y1], xx[x0:x1, None], yy[None, y0:y1]
+            )
+
+        return tile
 
     def min_distance_to_rect(self, q, lo, hi):
         clipped = np.minimum(np.maximum(q, lo), hi)

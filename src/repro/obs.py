@@ -39,6 +39,16 @@ Counters (see ``docs/observability.md`` for the full contract)
     X-tree split refusals that created or grew a supernode.
 ``materialize.blocks``
     distance-matrix blocks processed by the vectorized fast path.
+``argkmin.tiles``
+    distance tiles materialized by the chunked argkmin engine
+    (:mod:`repro.index.argkmin`); one kernel call each.
+``argkmin.tile_bytes``
+    bytes of the largest single distance tile an engine call allocated —
+    the memory-envelope counter (peak temporary allocation is one tile
+    per worker, O(chunk·chunk), never O(n²)).
+``argkmin.strategy_whole`` / ``argkmin.strategy_chunked``
+    engine calls resolved to the whole-matrix fallback vs. the tiled
+    merge (the ``strategy="auto"`` heuristic's decisions, made exact).
 ``mscan.passes``
     O(n) scans over the materialization database M (one per lrd pass,
     one per lof pass — the paper's "step 2" scans).

@@ -7,6 +7,10 @@ file is stale or if any literal counter/span name used in ``src/`` or
 """
 
 COUNTERS = (
+    'argkmin.strategy_chunked',
+    'argkmin.strategy_whole',
+    'argkmin.tile_bytes',
+    'argkmin.tiles',
     'distance.evaluations',
     'distance.kernel_calls',
     'graph.builds',
@@ -26,6 +30,7 @@ COUNTERS = (
 )
 
 SPANS = (
+    'argkmin.run',
     'estimator.materialize',
     'estimator.sweep',
     'materialize.batched',

@@ -51,7 +51,14 @@ MIN_PTS = 3
 
 
 def batch_paths(X, duplicate_mode):
-    """The three static builders, labelled."""
+    """The four static builders, labelled.
+
+    "blocked" is the historical whole-slab fast path (strategy="auto"
+    resolves to whole tiles at this size); "chunked" forces the tiled
+    merge with a 400-byte budget (y-tiles of 7 columns) and two threads,
+    so the Definition-4 candidate merge and the thread fan-out are both
+    inside the bit-identity matrix.
+    """
     return {
         "loop": MaterializationDB.materialize(
             X, MIN_PTS, duplicate_mode=duplicate_mode
@@ -61,6 +68,15 @@ def batch_paths(X, duplicate_mode):
         ),
         "blocked": fast_materialize(
             X, MIN_PTS, block_size=7, duplicate_mode=duplicate_mode
+        ),
+        "chunked": fast_materialize(
+            X,
+            MIN_PTS,
+            block_size=7,
+            duplicate_mode=duplicate_mode,
+            strategy="chunked",
+            tile_bytes=400,
+            n_threads=2,
         ),
     }
 
@@ -110,6 +126,28 @@ class TestTopN:
         # And the ranking is the true top-5 (ties broken by ascending id).
         order = np.lexsort((np.arange(len(full)), -full))[:5]
         np.testing.assert_array_equal(result.ids, order)
+
+
+class TestServeAgainstChunkBuiltStore:
+    @pytest.mark.parametrize("dataset", [duplicate_heavy, tied_only])
+    def test_score_new_matches_loop_lof(self, dataset, tmp_path):
+        """The online scorer over a store built by the chunked engine
+        reproduces the loop-built fitted LOF bit-for-bit (score each
+        stored row with itself excluded)."""
+        from repro.serve import OnlineScorer
+
+        X = dataset()
+        chunked = fast_materialize(
+            X, MIN_PTS, block_size=7, strategy="chunked", tile_bytes=400
+        )
+        path = tmp_path / "chunk_built.rlof"
+        chunked.save(path, X=X)
+        scorer = OnlineScorer.from_path(path)
+        served = scorer.score_new(
+            X, min_pts=MIN_PTS, exclude=np.arange(len(X))
+        )
+        loop = MaterializationDB.materialize(X, MIN_PTS).lof(MIN_PTS)
+        np.testing.assert_array_equal(served, loop)
 
 
 class TestDynamicPathsBitIdentical:
