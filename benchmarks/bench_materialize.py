@@ -32,7 +32,13 @@ contract: ``distance.kernel_calls``, ``distance.evaluations``,
 ``knn.queries``, ``knn.batch_queries``, ``materialize.blocks``,
 ``argkmin.tiles``, ``argkmin.tile_bytes``). A ``derived`` section
 reports the kernel-call ratio of ``query_loop`` over ``batched`` per
-size — the acceptance trajectory number.
+size — the acceptance trajectory number — plus, for the ``fast`` and
+``chunked`` engine paths, the wall-clock speedup over ``query_loop``
+and the peak-RSS ratio at ``n_jobs=1``, so the engine win is a recorded
+number instead of raw-row archaeology. (RSS is the OS high-water mark
+and therefore monotone across the rows of one invocation: a ratio near
+1.0 for a path that ran *after* ``query_loop`` means it stayed inside
+the envelope the loop had already established.)
 
 Usage::
 
@@ -178,6 +184,36 @@ def run(args) -> dict:
                 "kernel_call_ratio": round(lc / bc, 2) if bc else None,
             }
 
+    speedups = {}
+    for n in args.sizes:
+        loop = [
+            r for r in results
+            if r["n"] == n and r["path"] == "query_loop" and r["n_jobs"] == 1
+        ]
+        if not loop:
+            continue
+        entry = {}
+        for path in ("fast", "chunked"):
+            rows = [
+                r for r in results
+                if r["n"] == n and r["path"] == path and r["n_jobs"] == 1
+            ]
+            if rows:
+                wall = rows[0]["wall_s"]
+                entry[path] = {
+                    "wall_s_query_loop": loop[0]["wall_s"],
+                    "wall_s": wall,
+                    "wall_speedup": round(loop[0]["wall_s"] / wall, 3)
+                    if wall else None,
+                    "peak_rss_kb_query_loop": loop[0]["peak_rss_kb"],
+                    "peak_rss_kb": rows[0]["peak_rss_kb"],
+                    "peak_rss_ratio": round(
+                        rows[0]["peak_rss_kb"] / loop[0]["peak_rss_kb"], 3
+                    ),
+                }
+        if entry:
+            speedups[str(n)] = entry
+
     return {
         "schema": SCHEMA,
         "config": {
@@ -198,7 +234,10 @@ def run(args) -> dict:
             "machine": platform.machine(),
         },
         "results": results,
-        "derived": {"kernel_calls_vs_query_loop": derived},
+        "derived": {
+            "kernel_calls_vs_query_loop": derived,
+            "speedup_vs_query_loop": speedups,
+        },
     }
 
 

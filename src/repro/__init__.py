@@ -69,6 +69,7 @@ from .exceptions import (
     DuplicatePointsError,
     NotFittedError,
     ReproError,
+    ServeError,
     SpatialIndexError,
     StoreCorruptionError,
     StoreError,
@@ -106,6 +107,7 @@ __all__ = [
     "DuplicatePointsError",
     "NotFittedError",
     "ReproError",
+    "ServeError",
     "SpatialIndexError",
     "StoreCorruptionError",
     "StoreError",

@@ -12,8 +12,9 @@ fit
     per-MinPts caches, scores, dataset snapshot) to a store file:
     ``repro-lof fit data.csv --min-pts 10 50 --out model.rlof``
 serve
-    Serve a persisted model over HTTP for online scoring:
-    ``repro-lof serve model.rlof --port 8000``
+    Serve a persisted model over HTTP for online scoring; ``--workers``
+    forks a fleet sharing one memmapped store and one port:
+    ``repro-lof serve model.rlof --port 8000 --workers 4``
 rank
     Print the top outliers of a dataset:
     ``repro-lof rank data.csv --min-pts 10 50 --top 10``
@@ -168,8 +169,21 @@ def _cmd_fit(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .serve import run_server
+    from .serve import run_fleet, run_server
 
+    batch_window_ms = None if args.no_batch else args.batch_window_ms
+    if args.workers > 1:
+        return run_fleet(
+            args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_requests=args.max_requests,
+            cache_size=args.cache_size,
+            batch_window_ms=batch_window_ms,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+        )
     return run_server(
         args.store,
         host=args.host,
@@ -177,6 +191,9 @@ def _cmd_serve(args) -> int:
         mmap=args.mmap,
         max_requests=args.max_requests,
         cache_size=args.cache_size,
+        batch_window_ms=batch_window_ms,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
     )
 
 
@@ -360,6 +377,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--cache-size", type=int, default=1024, metavar="N",
         help="LRU entries for repeated-query reuse (0 disables)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fork N serving processes sharing one port and one "
+             "memmapped store (implies --mmap; default: 1, in-process)",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0, metavar="MS",
+        help="coalesce concurrent /score requests for up to MS "
+             "milliseconds into one kernel call (default: 2.0)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="flush a coalesced batch once it holds N points "
+             "(default: 64)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=1024, metavar="N",
+        help="bounded /score request queue depth; a full queue blocks "
+             "new requests (default: 1024)",
+    )
+    p_serve.add_argument(
+        "--no-batch", action="store_true",
+        help="disable request coalescing (score each request alone)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

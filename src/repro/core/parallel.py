@@ -61,6 +61,8 @@ __all__ = [
     "resolve_n_jobs",
     "resolve_n_threads",
     "fork_available",
+    "fork_workers",
+    "wait_workers",
     "map_sharded",
     "map_threaded",
 ]
@@ -99,6 +101,49 @@ def resolve_n_threads(n_threads) -> int:
 def fork_available() -> bool:
     """Whether the copy-on-write ``fork`` start method exists here."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def fork_workers(n: int, target: Callable[[int], int]) -> List[int]:
+    """Fork ``n`` long-lived worker processes running ``target(index)``.
+
+    The raw-``os.fork`` sibling of :func:`map_sharded` for workers that
+    *serve* rather than compute-and-return: each child inherits the
+    parent's open file descriptors (a pre-bound listening socket, in the
+    serving fleet) copy-on-write, calls ``target`` with its worker
+    index, and exits with its return value (a crashed worker exits 1).
+    Returns the child pids; reap them with :func:`wait_workers`. Callers
+    must check :func:`fork_available` first.
+    """
+    pids: List[int] = []
+    for index in range(int(n)):
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - child process, exits below
+            code = 1
+            try:
+                code = int(target(index) or 0)
+            finally:
+                # _exit, not sys.exit: never unwind into the parent's
+                # atexit handlers / buffered IO from a forked child.
+                os._exit(code)
+        pids.append(pid)
+    return pids
+
+
+def wait_workers(pids: Sequence[int]) -> int:
+    """Reap forked workers; the exit code is the worst worker's.
+
+    Blocks until every pid exits. A signal-killed worker counts as
+    ``128 + signum`` (shell convention), so the fleet's exit status is 0
+    iff every worker finished cleanly.
+    """
+    worst = 0
+    for pid in pids:
+        _, status = os.waitpid(pid, 0)
+        code = os.waitstatus_to_exitcode(status)
+        if code < 0:  # killed by signal -code
+            code = 128 - code
+        worst = max(worst, code)
+    return worst
 
 
 # The shard function is handed to workers by fork inheritance, not

@@ -70,3 +70,10 @@ class StoreMismatchError(StoreError):
     needs (e.g. serving queries from a store saved without the dataset
     snapshot, or loading an estimator API onto a bare materialization
     store)."""
+
+
+class ServeError(ReproError):
+    """The scoring service cannot take the request in its current state
+    (e.g. the request queue is closed because the server is shutting
+    down). Distinct from :class:`ValidationError`: the request may be
+    perfectly well-formed — it is the service that is unavailable."""

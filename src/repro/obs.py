@@ -59,10 +59,26 @@ Counters (see ``docs/observability.md`` for the full contract)
     (cache hits included).
 ``serve.cache.hits`` / ``serve.cache.misses``
     per-point lookups against the online scorer's LRU result cache;
-    scoring is lock-serialized, so both are exact under concurrency.
+    lookups happen under the scorer's lock and in-flight misses are
+    single-flight, so both are exact under concurrency (a point being
+    computed by one thread counts a hit for every concurrent waiter).
 ``serve.bounds.pruned`` / ``serve.bounds.exact``
     queries :meth:`~repro.serve.OnlineScorer.classify_new` decided from
     Theorem 1 brackets alone vs. those that paid for the exact kernels.
+``serve.batch.requests``
+    ``/score`` requests accepted into the coalescing queue
+    (:class:`~repro.serve.ScoreBatcher`).
+``serve.batch.batches``
+    stacked ``score_new`` calls the batcher executed (one per group of
+    coalesced requests sharing a ``min_pts`` selector).
+``serve.batch.coalesced``
+    requests that rode along in a batch opened by another request
+    (``requests - batches`` when every batch has one selector group).
+``serve.reloads``
+    hot-swaps performed by ``POST /admin/reload``.
+``serve.workers``
+    worker processes forked by the serving fleet
+    (:func:`~repro.serve.run_fleet`); counted in the parent.
 
 Timers
 ------

@@ -20,11 +20,16 @@ COUNTERS = (
     'knn.queries',
     'materialize.blocks',
     'mscan.passes',
+    'serve.batch.batches',
+    'serve.batch.coalesced',
+    'serve.batch.requests',
     'serve.bounds.exact',
     'serve.bounds.pruned',
     'serve.cache.hits',
     'serve.cache.misses',
     'serve.points_scored',
+    'serve.reloads',
+    'serve.workers',
     'store.loads',
     'store.saves',
 )

@@ -375,6 +375,27 @@ def read_header(path: PathLike) -> Dict:
     return header
 
 
+def store_fingerprint(header: Dict) -> str:
+    """A stable content identity for one store version.
+
+    sha256 over the sorted per-section ``(name, sha256)`` pairs of the
+    header's section table — the same digests the load-time integrity
+    check verifies, so two stores share a fingerprint iff their array
+    payloads are byte-identical. Serving exposes it (``GET /model``,
+    ``POST /admin/reload``) so a fleet operator can confirm every worker
+    is answering from the same model version without re-hashing data.
+    """
+    digest = hashlib.sha256()
+    for entry in sorted(
+        header.get("sections", ()), key=lambda e: str(e.get("name"))
+    ):
+        digest.update(str(entry.get("name")).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(str(entry.get("sha256")).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
 def _verify_sections(path: Path, header: Dict) -> None:
     """Stream every section once and compare sha256 digests."""
     size = path.stat().st_size

@@ -241,3 +241,45 @@ class TestEstimatorAndSurface:
         serial = LocalOutlierFactor(min_pts=(4, 6)).fit(random_points)
         parallel = LocalOutlierFactor(min_pts=(4, 6), n_jobs=2).fit(random_points)
         np.testing.assert_array_equal(serial.scores_, parallel.scores_)
+
+
+class TestForkWorkers:
+    """The raw-fork primitives under the serving fleet
+    (`repro.serve.run_fleet`): exit-code aggregation across long-lived
+    forked workers."""
+
+    @needs_fork
+    def test_clean_workers_exit_zero(self):
+        from repro.core.parallel import fork_workers, wait_workers
+
+        pids = fork_workers(3, lambda index: 0)
+        assert len(pids) == len(set(pids)) == 3
+        assert wait_workers(pids) == 0
+
+    @needs_fork
+    def test_worst_exit_code_wins(self):
+        from repro.core.parallel import fork_workers, wait_workers
+
+        pids = fork_workers(3, lambda index: index)  # exits 0, 1, 2
+        assert wait_workers(pids) == 2
+
+    @needs_fork
+    def test_crashed_worker_exits_nonzero(self):
+        from repro.core.parallel import fork_workers, wait_workers
+
+        def boom(index):
+            raise RuntimeError("worker crash")
+
+        assert wait_workers(fork_workers(1, boom)) == 1
+
+    @needs_fork
+    def test_signal_killed_worker_counts_shell_style(self):
+        import os
+        import signal
+        import time
+
+        from repro.core.parallel import fork_workers, wait_workers
+
+        pids = fork_workers(1, lambda index: time.sleep(60) or 0)
+        os.kill(pids[0], signal.SIGTERM)
+        assert wait_workers(pids) == 128 + signal.SIGTERM

@@ -8,10 +8,19 @@ Three contracts:
 * *self-consistency* — ``score_new`` on a stored object (``exclude=i``)
   is bit-for-bit the fitted LOF value, in-memory or memmap;
 * *determinism* — the LRU cache and its counters are exact, including
-  under concurrent hammering (scoring is lock-serialized).
+  under concurrent hammering: the frozen-model read path is lock-free
+  and cache misses are single-flight, so N threads produce bit-identical
+  scores and exactly the serial counters;
+* *coalescing* — batching concurrent requests into one stacked kernel
+  call (:class:`~repro.serve.ScoreBatcher`) is bit-identical to scoring
+  each request alone, and a hot-swap (``/admin/reload``) mid-hammer
+  never drops, corrupts, or double-counts a request.
 """
 
+import http.client
 import json
+import subprocess
+import sys
 import threading
 import urllib.error
 import urllib.request
@@ -20,10 +29,11 @@ import numpy as np
 import pytest
 
 from repro import LocalOutlierFactor, MaterializationDB, obs
+from repro.core.parallel import fork_available
 from repro.core.range_lof import _AGGREGATES
-from repro.exceptions import StoreMismatchError, ValidationError
-from repro.serve import LRUCache, OnlineScorer, make_server
-from repro.store import load_model, save_model
+from repro.exceptions import ServeError, StoreMismatchError, ValidationError
+from repro.serve import LRUCache, OnlineScorer, ScoreBatcher, make_server
+from repro.store import load_model, save_model, store_fingerprint
 
 
 @pytest.fixture
@@ -363,3 +373,339 @@ class TestHTTPServer:
         thread.join(timeout=10)
         assert not thread.is_alive()
         srv.server_close()
+
+
+def _http_request(srv, path, payload=None):
+    port = srv.server_address[1]
+    url = f"http://127.0.0.1:{port}{path}"
+    data = None if payload is None else json.dumps(payload).encode()
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(url, data=data), timeout=10
+        ) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestBatcher:
+    def test_max_batch_coalesces_bit_identically(self, scorer):
+        sc, _ = scorer
+        rng = np.random.default_rng(21)
+        chunks = [rng.uniform(0.0, 40.0, size=(m, 2)) for m in (1, 2, 1)]
+        want = [sc.score_new(c, use_cache=False) for c in chunks]
+        # max_batch == total points and a generous window: the batcher
+        # deterministically waits until all three requests are gathered,
+        # then runs exactly one stacked kernel call.
+        batcher = ScoreBatcher(lambda: sc, batch_window_ms=5000.0, max_batch=4)
+        try:
+            futures = [batcher.submit(c, None) for c in chunks]
+            got = [f.result() for f in futures]
+        finally:
+            batcher.close()
+        for g, w in zip(got, want):
+            assert np.array_equal(np.asarray(g), w)  # bit-identical
+        assert batcher.requests == 3
+        assert batcher.batches == 1
+        assert batcher.coalesced == 2
+        assert batcher.points == 4
+
+    def test_mixed_min_pts_grouped_per_selector(self, scorer):
+        sc, _ = scorer
+        rng = np.random.default_rng(22)
+        a = rng.uniform(0.0, 40.0, size=(2, 2))
+        b = rng.uniform(0.0, 40.0, size=(2, 2))
+        want_a = sc.score_new(a, min_pts=5, use_cache=False)
+        want_b = sc.score_new(b, use_cache=False)
+        batcher = ScoreBatcher(lambda: sc, batch_window_ms=5000.0, max_batch=4)
+        try:
+            fa = batcher.submit(a, 5)
+            fb = batcher.submit(b, None)
+            ga, gb = fa.result(), fb.result()
+        finally:
+            batcher.close()
+        assert np.array_equal(np.asarray(ga), want_a)
+        assert np.array_equal(np.asarray(gb), want_b)
+        # Different min_pts selectors cannot share a stacked call.
+        assert batcher.batches == 2
+        assert batcher.coalesced == 0
+
+    def test_submit_validates_eagerly(self, scorer):
+        sc, _ = scorer
+        batcher = ScoreBatcher(lambda: sc, batch_window_ms=5000.0, max_batch=8)
+        try:
+            with pytest.raises(ValidationError):
+                batcher.submit([[1.0]], None)  # wrong dimensionality
+            with pytest.raises(ValidationError):
+                batcher.submit([[0.0, 0.0]], 10_000)  # min_pts out of range
+            # A rejected request never reaches the queue (no poisoning).
+            assert batcher.queue_depth() == 0
+        finally:
+            batcher.close()
+
+    def test_closed_batcher_rejects(self, scorer):
+        sc, _ = scorer
+        batcher = ScoreBatcher(lambda: sc, batch_window_ms=0.0, max_batch=1)
+        batcher.close()
+        with pytest.raises(ServeError):
+            batcher.submit([[0.0, 0.0]], None)
+
+    def test_batch_counters_registered(self, scorer):
+        sc, _ = scorer
+        obs.enable()
+        obs.reset()
+        batcher = ScoreBatcher(lambda: sc, batch_window_ms=5000.0, max_batch=2)
+        try:
+            futures = [
+                batcher.submit([[40.0, 10.0]], None),
+                batcher.submit([[1.0, 1.0]], None),
+            ]
+            for f in futures:
+                f.result()
+        finally:
+            batcher.close()
+        assert obs.counter("serve.batch.requests") == 2
+        assert obs.counter("serve.batch.batches") == 1
+        assert obs.counter("serve.batch.coalesced") == 1
+
+
+class TestKeepAliveAndAdmin:
+    @pytest.fixture
+    def server(self, fitted_store):
+        path, est = fitted_store
+        srv = make_server(path, port=0)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        yield srv, est
+        srv.shutdown()
+        srv.server_close()
+
+    def test_keep_alive_reuses_one_connection(self, server):
+        srv, _ = server
+        port = srv.server_address[1]
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            for _ in range(3):
+                conn.request(
+                    "POST", "/score",
+                    body=json.dumps({"points": [[40.0, 10.0]]}),
+                    headers={"Content-Type": "application/json"},
+                )
+                resp = conn.getresponse()
+                # HTTP/1.1 with an exact Content-Length: the connection
+                # survives, so the second and third request would raise
+                # here if the server had closed it.
+                assert resp.status == 200 and resp.version == 11
+                json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def test_stats_surfaces_server_and_batcher(self, server):
+        srv, _ = server
+        status, body = _http_request(srv, "/stats")
+        assert status == 200
+        assert set(body["cache"]) == {"hits", "misses", "size", "capacity"}
+        info = body["server"]
+        assert info["pid"] > 0 and info["workers"] == 1
+        assert info["reloads"] == 0 and info["active_requests"] >= 0
+        assert info["batcher"]["max_batch"] == 64
+        assert info["batcher"]["queue_depth"] >= 0
+
+    def test_model_reports_fingerprint(self, server):
+        srv, _ = server
+        status, body = _http_request(srv, "/model")
+        assert status == 200
+        assert body["fingerprint"] == store_fingerprint(srv.scorer.model.header)
+
+    def test_admin_reload_swaps_scorer(self, server):
+        srv, _ = server
+        before = srv.scorer
+        points = [[40.0, 10.0], [100.0, 100.0]]
+        want = before.score_new(np.asarray(points))
+        status, body = _http_request(srv, "/admin/reload", {})
+        assert status == 200 and body["reloads"] == 1
+        assert srv.scorer is not before
+        assert body["fingerprint"] == store_fingerprint(srv.scorer.model.header)
+        # Same file, same model: the swap is invisible to scores.
+        status, body = _http_request(srv, "/score", {"points": points})
+        assert status == 200
+        assert body["scores"] == [float(s) for s in want]
+
+    def test_admin_reload_bad_store_keeps_old_scorer(self, server, tmp_path):
+        srv, _ = server
+        bad = tmp_path / "garbage.rlof"
+        bad.write_bytes(b"not a store at all")
+        before = srv.scorer
+        status, body = _http_request(srv, "/admin/reload", {"path": str(bad)})
+        assert status == 500 and "error" in body
+        assert srv.scorer is before  # the fleet never loses its model
+        status, _ = _http_request(srv, "/score", {"points": [[40.0, 10.0]]})
+        assert status == 200
+
+
+class TestHotSwapStress:
+    def test_hammer_with_reload_bit_identical_and_counted(self, fitted_store):
+        path, _ = fitted_store
+        srv = make_server(path, port=0, batch_window_ms=2.0, max_batch=16)
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        port = srv.server_address[1]
+        serial = OnlineScorer.from_path(path)
+        rng = np.random.default_rng(33)
+        pool = rng.uniform(0.0, 40.0, size=(12, 2))
+        n_threads, rounds = 6, 4
+        requests = []
+        for t in range(n_threads):
+            for r in range(rounds):
+                idx = rng.integers(0, len(pool), size=1 + (t + r) % 3)
+                requests.append(pool[idx])  # mixed sizes, repeats: hits
+        expected = [serial.score_new(q, use_cache=False) for q in requests]
+
+        obs.enable()
+        obs.reset()
+        results = [None] * len(requests)
+        errors = []
+
+        def hammer(tid):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                for j in range(tid * rounds, (tid + 1) * rounds):
+                    conn.request(
+                        "POST", "/score",
+                        body=json.dumps({"points": requests[j].tolist()}),
+                    )
+                    resp = conn.getresponse()
+                    payload = json.loads(resp.read())
+                    if resp.status != 200:
+                        raise AssertionError(payload)
+                    results[j] = payload["scores"]
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        # Hot-swap the store while the hammer runs: in-flight requests
+        # must finish against whichever scorer they entered with.
+        n_reloads = 3
+        for _ in range(n_reloads):
+            status, body = _http_request(srv, "/admin/reload", {})
+            assert status == 200
+        for t in threads:
+            t.join()
+        srv.shutdown()
+        assert srv.wait_drained(timeout=10.0)
+        srv.server_close()
+        assert not errors
+        # Bit-identity: every response equals serial scoring, no matter
+        # which batch, thread, or scorer generation served it.
+        for got, want in zip(results, expected):
+            assert got == [float(s) for s in want]
+        # Exact accounting under any interleaving of swaps and batches:
+        # every point is scored once and looked up in exactly one cache.
+        total_points = sum(len(q) for q in requests)
+        assert obs.counter("serve.points_scored") == total_points
+        assert (
+            obs.counter("serve.cache.hits") + obs.counter("serve.cache.misses")
+        ) == total_points
+        assert obs.counter("serve.batch.requests") == len(requests)
+        assert obs.counter("serve.reloads") == n_reloads
+
+
+class TestDrainOnShutdown:
+    def test_max_requests_drains_concurrent_inflight(self, fitted_store):
+        path, _ = fitted_store
+        srv = make_server(path, port=0, max_requests=3)
+        thread = threading.Thread(target=srv.serve_forever)
+        thread.start()
+        statuses = []
+        errors = []
+
+        def one(i):
+            try:
+                status, body = _http_request(
+                    srv, "/score", {"points": [[float(i), float(i)]]}
+                )
+                statuses.append((status, body))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        workers = [threading.Thread(target=one, args=(i,)) for i in range(3)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert srv.wait_drained(timeout=10.0)
+        srv.server_close()
+        # The request that tripped the limit and both others all got
+        # complete responses: shutdown drained instead of cutting off.
+        assert not errors
+        assert [s for s, _ in statuses] == [200, 200, 200]
+
+
+class TestFleetCLI:
+    @pytest.mark.skipif(
+        not fork_available(), reason="fleet mode needs the fork start method"
+    )
+    def test_multi_worker_fleet_serves_and_terminates(self, fitted_store):
+        path, _ = fitted_store
+        want = OnlineScorer.from_path(path).score_new(
+            np.asarray([[40.0, 10.0], [100.0, 100.0]])
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(path),
+                "--workers", "2", "--port", "0", "--max-batch", "8",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = {}
+
+            def read_banner():
+                banner["line"] = proc.stdout.readline()
+
+            reader = threading.Thread(target=read_banner, daemon=True)
+            reader.start()
+            reader.join(timeout=30)
+            line = banner.get("line", "")
+            assert "http://127.0.0.1:" in line, f"no banner: {line!r}"
+            assert "workers=2" in line
+            port = int(line.split("http://127.0.0.1:")[1].split()[0])
+            url = f"http://127.0.0.1:{port}"
+            pids = set()
+            for _ in range(6):
+                with urllib.request.urlopen(f"{url}/stats", timeout=30) as r:
+                    body = json.loads(r.read())
+                assert body["server"]["workers"] == 2
+                pids.add(body["server"]["pid"])
+            assert pids  # at least one worker answered; distribution of
+            # accepts across workers is the kernel's business, not ours
+            req = urllib.request.Request(
+                f"{url}/score",
+                data=json.dumps(
+                    {"points": [[40.0, 10.0], [100.0, 100.0]]}
+                ).encode(),
+            )
+            with urllib.request.urlopen(req, timeout=30) as r:
+                body = json.loads(r.read())
+            assert body["scores"] == [float(s) for s in want]
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=15)
+        # SIGTERM on the parent took the whole fleet down: the port no
+        # longer accepts connections.
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz", timeout=5)

@@ -268,6 +268,43 @@ class TestMetadata:
             est.save(tmp_path / "x.rlof")
 
 
+class TestFingerprint:
+    """``store_fingerprint`` is the model's content identity: stable
+    across re-reads of one file, different across different contents —
+    what ``/model`` and ``/admin/reload`` report to operators."""
+
+    def test_stable_across_reads(self, tmp_path, mixed_density):
+        from repro.store import store_fingerprint
+
+        mat = MaterializationDB.materialize(mixed_density, 6)
+        mat.save(tmp_path / "m.rlof", X=mixed_density)
+        first = store_fingerprint(read_header(tmp_path / "m.rlof"))
+        second = store_fingerprint(read_header(tmp_path / "m.rlof"))
+        assert first == second
+        assert isinstance(first, str) and len(first) == 64
+
+    def test_differs_for_different_contents(self, tmp_path, mixed_density):
+        from repro.store import store_fingerprint
+
+        mat = MaterializationDB.materialize(mixed_density, 6)
+        mat.save(tmp_path / "a.rlof", X=mixed_density)
+        other = MaterializationDB.materialize(mixed_density * 2.0, 6)
+        other.save(tmp_path / "b.rlof", X=mixed_density * 2.0)
+        assert store_fingerprint(
+            read_header(tmp_path / "a.rlof")
+        ) != store_fingerprint(read_header(tmp_path / "b.rlof"))
+
+    def test_section_order_does_not_matter(self, tmp_path, mixed_density):
+        from repro.store import store_fingerprint
+
+        mat = MaterializationDB.materialize(mixed_density, 6)
+        mat.save(tmp_path / "m.rlof", X=mixed_density)
+        header = read_header(tmp_path / "m.rlof")
+        shuffled = dict(header)
+        shuffled["sections"] = list(reversed(header["sections"]))
+        assert store_fingerprint(header) == store_fingerprint(shuffled)
+
+
 def _rewrite_header(path, out, mutate):
     """Re-encode a store's JSON header after applying ``mutate`` to it
     (sections become unreadable, but header validation fires first)."""
