@@ -44,6 +44,10 @@ Package layout
 :mod:`repro.obs`
     opt-in instrumentation: deterministic op counters, timer spans and
     JSON stats export (see ``docs/observability.md``).
+:mod:`repro.scorers`
+    the pluggable local-outlier scorer registry — LOF, LDOF, LoOP and
+    kth-NN-distance over the one neighborhood graph (see
+    ``docs/scorers.md``).
 """
 
 from .core import (
@@ -63,6 +67,7 @@ from .core import (
     rank_outliers,
     reach_dist,
     reachability_matrix,
+    score_range,
     suggest_min_pts_range,
 )
 from .exceptions import (
@@ -79,6 +84,8 @@ from .exceptions import (
     ValidationError,
 )
 from .index import available_indexes, make_index
+from .scorers import Scorer, ScorerContext, get_scorer, list_scorers
+from .scorers import register as register_scorer
 from . import obs
 
 __version__ = "1.1.0"
@@ -103,7 +110,13 @@ __all__ = [
     "rank_outliers",
     "reach_dist",
     "reachability_matrix",
+    "score_range",
     "suggest_min_pts_range",
+    "Scorer",
+    "ScorerContext",
+    "get_scorer",
+    "list_scorers",
+    "register_scorer",
     "DuplicatePointsError",
     "NotFittedError",
     "ReproError",

@@ -9,8 +9,11 @@ failure mode on multi-density data.
 
 Two implementations:
 
-* :func:`knn_distance_scores` — D^k for every object via the shared
-  index substrate;
+* :func:`knn_distance_scores` — D^k for every object, now a thin
+  wrapper over the ``knn_dist`` registry scorer of
+  :mod:`repro.scorers`: the neighborhood graph is built once through
+  the shared substrate and the score is its Definition-3 k-distance
+  column, so the D^k definition exists exactly once in the codebase;
 * :func:`top_n_knn_outliers` — the top-n mining loop with the
   Ramaswamy-style pruning optimization: maintain the running n-th best
   score and abandon an object's k-NN search once its distance
@@ -26,7 +29,7 @@ import numpy as np
 
 from .._validation import check_data, check_min_pts
 from ..exceptions import ValidationError
-from ..index import get_metric, make_index
+from ..index import get_metric
 
 
 def knn_distance_scores(
@@ -35,16 +38,21 @@ def knn_distance_scores(
     metric="euclidean",
     index="brute",
 ) -> np.ndarray:
-    """D^k(p): distance from each object to its k-th nearest neighbor."""
+    """D^k(p): distance from each object to its k-th nearest neighbor.
+
+    Thin wrapper kept for API stability; delegates to the ``knn_dist``
+    scorer over a shared :class:`~repro.core.graph.NeighborhoodGraph`
+    (bit-identical to the historical per-object query loop — both read
+    the same Definition-3 k-distances off the same index substrate).
+    """
+    from ..core.graph import NeighborhoodGraph
+    from ..core.materialization import MaterializationDB
+
     X = check_data(X, min_rows=2)
     k = check_min_pts(k, X.shape[0], name="k")
-    nn_index = make_index(index, metric=metric)
-    if not nn_index.is_fitted:
-        nn_index.fit(X)
-    out = np.empty(X.shape[0])
-    for i in range(X.shape[0]):
-        out[i] = nn_index.query(X[i], k, exclude=i).k_distance
-    return out
+    graph = NeighborhoodGraph.from_index(X, k, index=index, metric=metric)
+    mat = MaterializationDB.from_graph(graph)
+    return mat.scores(k, scorer="knn_dist")
 
 
 def top_n_knn_outliers(

@@ -3,10 +3,11 @@
 Subcommands
 -----------
 score
-    Compute LOF scores for a CSV dataset and write a score file:
+    Compute outlier scores for a CSV dataset and write a score file:
     ``repro-lof score data.csv --min-pts 10 50 --out scores.csv``
     With ``--store model.rlof`` the dataset is scored *online* against a
-    persisted fitted model instead of fitting from scratch.
+    persisted fitted model instead of fitting from scratch. ``--scorer``
+    picks any registered detector (lof, ldof, loop, knn_dist).
 fit
     Fit an estimator and persist the whole model (neighborhood graph,
     per-MinPts caches, scores, dataset snapshot) to a store file:
@@ -15,6 +16,8 @@ serve
     Serve a persisted model over HTTP for online scoring; ``--workers``
     forks a fleet sharing one memmapped store and one port:
     ``repro-lof serve model.rlof --port 8000 --workers 4``
+scorers
+    List the registered local-outlier scorers and their descriptions.
 rank
     Print the top outliers of a dataset:
     ``repro-lof rank data.csv --min-pts 10 50 --top 10``
@@ -105,6 +108,14 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scorer_option(parser: argparse.ArgumentParser, help_suffix: str = "") -> None:
+    parser.add_argument(
+        "--scorer", default=None, metavar="NAME",
+        help="registered local-outlier scorer: lof (default), ldof, loop, "
+             "knn_dist — see 'repro-lof scorers'" + help_suffix,
+    )
+
+
 def _min_pts_arg(values: List[int]):
     if len(values) == 1:
         return values[0]
@@ -121,6 +132,7 @@ def _fit(args, X) -> LocalOutlierFactor:
         index=args.index,
         engine=args.engine,
         n_jobs=args.n_jobs,
+        scorer=getattr(args, "scorer", None) or "lof",
     )
     return est.fit(X)
 
@@ -130,20 +142,22 @@ def _cmd_score(args) -> int:
     if args.store is not None:
         from .serve import OnlineScorer
 
-        scorer = OnlineScorer.from_path(args.store, mmap=args.mmap)
-        # A single --min-pts value scores plain LOF_k; otherwise the
-        # stored model's own grid and aggregate apply.
+        scorer = OnlineScorer.from_path(
+            args.store, mmap=args.mmap, scorer=args.scorer
+        )
+        # A single --min-pts value scores a plain per-k score; otherwise
+        # the stored model's own grid and aggregate apply.
         min_pts = args.min_pts[0] if len(args.min_pts) == 1 else None
         scores = scorer.score_new(X, min_pts=min_pts)
         save_scores(args.out, scores, labels=labels)
         print(
-            f"wrote {len(scores)} online LOF scores "
+            f"wrote {len(scores)} online {scorer.scorer_name} scores "
             f"(store {args.store}) to {args.out}"
         )
         return 0
     est = _fit(args, X)
     save_scores(args.out, est.scores_, labels=labels)
-    print(f"wrote {len(est.scores_)} LOF scores to {args.out}")
+    print(f"wrote {len(est.scores_)} {est.scorer} scores to {args.out}")
     return 0
 
 
@@ -158,12 +172,14 @@ def _cmd_fit(args) -> int:
         threshold=args.threshold,
         engine=args.engine,
         n_jobs=args.n_jobs,
+        scorer=args.scorer or "lof",
     ).fit(X)
     est.save(args.out)
     print(
         f"fitted {est.materialization_.n_points} objects "
         f"(MinPts {est.min_pts_values_[0]}..{est.min_pts_values_[-1]}, "
-        f"aggregate={est.aggregate}) and saved the model to {args.out}"
+        f"aggregate={est.aggregate}, scorer={est.scorer}) "
+        f"and saved the model to {args.out}"
     )
     return 0
 
@@ -183,6 +199,7 @@ def _cmd_serve(args) -> int:
             batch_window_ms=batch_window_ms,
             max_batch=args.max_batch,
             max_queue=args.max_queue,
+            scorer=args.scorer,
         )
     return run_server(
         args.store,
@@ -194,7 +211,20 @@ def _cmd_serve(args) -> int:
         batch_window_ms=batch_window_ms,
         max_batch=args.max_batch,
         max_queue=args.max_queue,
+        scorer=args.scorer,
     )
+
+
+def _cmd_scorers(args) -> int:
+    from .scorers import get_scorer, list_scorers
+
+    print("name       data  bounds  description")
+    for name in list_scorers():
+        s = get_scorer(name)
+        needs = "X" if s.requires_data else "-"
+        bounds = "yes" if s.supports_bounds else "-"
+        print(f"{name:<10} {needs:>4}  {bounds:>6}  {s.description}")
+    return 0
 
 
 def _cmd_rank(args) -> int:
@@ -343,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --store: memory-map the store instead of reading it",
     )
     _add_common_options(p_score)
+    _add_scorer_option(
+        p_score,
+        " (with --store: overrides the store's fitted scorer)",
+    )
     p_score.set_defaults(func=_cmd_score)
 
     p_fit = sub.add_parser(
@@ -358,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="outlier threshold stored with the model (default: 1.5)",
     )
     _add_common_options(p_fit)
+    _add_scorer_option(p_fit, " (recorded in the store header)")
     p_fit.set_defaults(func=_cmd_fit)
 
     p_serve = sub.add_parser(
@@ -402,7 +437,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batch", action="store_true",
         help="disable request coalescing (score each request alone)",
     )
+    _add_scorer_option(
+        p_serve,
+        " (service default; per-request \"scorer\" still overrides)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_scorers = sub.add_parser(
+        "scorers", help="list the registered local-outlier scorers"
+    )
+    p_scorers.set_defaults(func=_cmd_scorers)
 
     p_rank = sub.add_parser("rank", help="print the top outliers of a dataset")
     p_rank.add_argument("dataset", help="CSV written by repro.io.save_dataset")

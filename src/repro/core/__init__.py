@@ -53,7 +53,7 @@ from .lrd import local_reachability_density
 from .materialization import MaterializationDB, materialize, materialize_batched
 from .parallel import fork_available, map_sharded, resolve_n_jobs
 from .neighbors import k_distance, k_distance_neighborhood
-from .range_lof import RangeLOFResult, lof_range, suggest_min_pts_range
+from .range_lof import RangeLOFResult, lof_range, score_range, suggest_min_pts_range
 from .reference import naive_lof, naive_lrd
 from .ranking import OutlierRanking, RankedOutlier, rank_outliers
 from .reachability import reach_dist, reachability_matrix
@@ -97,6 +97,7 @@ __all__ = [
     "k_distance_neighborhood",
     "RangeLOFResult",
     "lof_range",
+    "score_range",
     "suggest_min_pts_range",
     "naive_lof",
     "naive_lrd",

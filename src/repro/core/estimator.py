@@ -22,7 +22,7 @@ from .. import obs
 from .._validation import check_data, check_min_pts, check_min_pts_range
 from ..exceptions import NotFittedError, ValidationError
 from .materialization import MaterializationDB
-from .range_lof import RangeLOFResult, lof_range
+from .range_lof import RangeLOFResult, score_range
 from .ranking import OutlierRanking, rank_outliers
 
 
@@ -39,6 +39,10 @@ class LocalOutlierFactor:
     metric : distance metric name or Metric instance.
     index : k-NN substrate name, class or instance (default 'brute').
     duplicate_mode : 'inf', 'distinct' or 'error'.
+    scorer : registry name of the local-outlier scorer to sweep —
+        ``'lof'`` (default, the paper's), ``'ldof'``, ``'loop'`` or
+        ``'knn_dist'`` (see :mod:`repro.scorers`). Every scorer reads
+        the same materialized neighborhood graph.
     threshold : scores strictly greater than this are flagged by
         :meth:`predict`; LOF ~ 1 means "in a cluster", so a threshold of
         1.5 (used by the paper's soccer study) is a reasonable default.
@@ -94,12 +98,16 @@ class LocalOutlierFactor:
         profile: bool = False,
         engine: str = "loop",
         n_jobs=None,
+        scorer: str = "lof",
     ):
+        from ..scorers import get_scorer
+
         self.min_pts = min_pts
         self.aggregate = aggregate
         self.metric = metric
         self.index = index
         self.duplicate_mode = duplicate_mode
+        self.scorer = get_scorer(scorer).name
         self.threshold = float(threshold)
         self.profile = bool(profile)
         self.engine = engine
@@ -162,11 +170,14 @@ class LocalOutlierFactor:
                     f"got {self.engine!r}"
                 )
         with obs.span("estimator.sweep"):
-            self._result = lof_range(
+            self._result = score_range(
+                X=self.X_,
                 min_pts_lb=lb,
                 min_pts_ub=ub,
                 aggregate=self.aggregate,
+                metric=self.metric,
                 materialization=self.materialization_,
+                scorer=self.scorer,
             )
 
     def fit_predict(self, X) -> np.ndarray:
@@ -203,12 +214,14 @@ class LocalOutlierFactor:
             )
         meta = model.estimator
         lb, ub = int(meta["min_pts_lb"]), int(meta["min_pts_ub"])
+        scorer = str(meta.get("scorer", "lof"))
         est = cls(
             min_pts=lb if lb == ub else (lb, ub),
             aggregate=meta["aggregate"],
             metric=model.metric_object(),
             duplicate_mode=model.mat.duplicate_mode,
             threshold=meta["threshold"],
+            scorer=scorer,
         )
         est.materialization_ = model.mat
         est.X_ = model.require_snapshot()
@@ -218,6 +231,7 @@ class LocalOutlierFactor:
             lof_matrix=model.lof_matrix,
             scores=model.scores,
             aggregate=meta["aggregate"],
+            scorer=scorer,
         )
         return est
 

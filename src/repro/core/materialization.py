@@ -114,6 +114,8 @@ class MaterializationDB:
         self._kdist_cache: Dict[int, np.ndarray] = {}
         self._lrd_cache: Dict[int, np.ndarray] = {}
         self._lof_cache: Dict[int, np.ndarray] = {}
+        self._scorer_scores: Dict[Tuple[str, int], np.ndarray] = {}
+        self._scorer_aux: Dict[Tuple[str, int], Dict[str, np.ndarray]] = {}
 
     @classmethod
     def from_graph(
@@ -135,6 +137,8 @@ class MaterializationDB:
         db._kdist_cache = {}
         db._lrd_cache = {}
         db._lof_cache = {}
+        db._scorer_scores = {}
+        db._scorer_aux = {}
         return db
 
     # -- columnar storage (delegated to the graph) ---------------------------
@@ -428,6 +432,65 @@ class MaterializationDB:
             raise ValidationError(f"min_pts_lb={lb} exceeds min_pts_ub={ub}")
         return {k: self.lof(k) for k in range(lb, ub + 1)}
 
+    # -- the scorer registry (repro.scorers) -----------------------------------
+
+    def _scorer_context(self, k: int, X=None, metric=None):
+        from ..scorers import ScorerContext
+
+        if X is not None:
+            X = np.asarray(X, dtype=np.float64)
+            if X.ndim != 2 or X.shape[0] != self.n_points:
+                raise ValidationError(
+                    f"dataset snapshot X must be 2-D with {self.n_points} "
+                    f"rows to match this materialization"
+                )
+        metric_obj = None
+        if metric is not None:
+            from ..index import get_metric
+
+            metric_obj = get_metric(metric)
+        return ScorerContext(mat=self, k=k, X=X, metric=metric_obj)
+
+    def scores(self, min_pts: int, scorer="lof", X=None, metric=None) -> np.ndarray:
+        """Per-object scores of any registered scorer (Section 7.4 step 2,
+        generalized): cached per ``(scorer, MinPts)``, computed from the
+        one materialized neighborhood graph.
+
+        ``scorer='lof'`` reads the classic :meth:`lof` cache, so routing
+        LOF through the registry is bit-identical to calling :meth:`lof`
+        directly. Scorers with ``requires_data`` (LDOF) additionally
+        need the dataset snapshot ``X`` and the ``metric``.
+        """
+        from ..scorers import get_scorer
+
+        scorer = get_scorer(scorer)
+        k = self._check_k(min_pts)
+        key = (scorer.name, k)
+        if key not in self._scorer_scores:
+            vec, aux = scorer.fit(self._scorer_context(k, X=X, metric=metric))
+            self._scorer_scores[key] = np.asarray(vec, dtype=np.float64)
+            self._scorer_aux.setdefault(
+                key, {name: np.asarray(v, dtype=np.float64) for name, v in aux.items()}
+            )
+        return self._scorer_scores[key]
+
+    def scorer_aux(self, scorer, min_pts: int, X=None, metric=None) -> Dict[str, np.ndarray]:
+        """The aux arrays a scorer persists for its query path (for
+        example LoOP's per-object pdist vector and nPLOF scalar),
+        computed and cached alongside :meth:`scores`."""
+        from ..scorers import get_scorer
+
+        scorer = get_scorer(scorer)
+        k = self._check_k(min_pts)
+        key = (scorer.name, k)
+        if key not in self._scorer_aux:
+            vec, aux = scorer.fit(self._scorer_context(k, X=X, metric=metric))
+            self._scorer_scores.setdefault(key, np.asarray(vec, dtype=np.float64))
+            self._scorer_aux[key] = {
+                name: np.asarray(v, dtype=np.float64) for name, v in aux.items()
+            }
+        return self._scorer_aux[key]
+
     # -- persistence (repro.store) ----------------------------------------------
 
     def cached_lrd(self) -> Dict[int, np.ndarray]:
@@ -457,6 +520,33 @@ class MaterializationDB:
                         f"expected ({self.n_points},)"
                     )
                 cache[k] = vec
+
+    def cached_scorer_scores(self) -> Dict[Tuple[str, int], np.ndarray]:
+        """Copy of the per-(scorer, MinPts) score cache (what a save persists)."""
+        return dict(self._scorer_scores)
+
+    def cached_scorer_aux(self) -> Dict[Tuple[str, int], Dict[str, np.ndarray]]:
+        """Copy of the per-(scorer, MinPts) aux cache (what a save persists)."""
+        return {key: dict(mapping) for key, mapping in self._scorer_aux.items()}
+
+    def seed_scorer_caches(self, scores=None, aux=None) -> None:
+        """Pre-populate the registry caches from persisted sections, so a
+        reloaded store serves every scorer's fitted vectors (and aux
+        state such as LoOP's pdist/nPLOF) without a recompute."""
+        for (name, k), vec in (scores or {}).items():
+            k = self._check_k(int(k))
+            vec = np.asarray(vec, dtype=np.float64)
+            if vec.shape != (self.n_points,):
+                raise ValidationError(
+                    f"score vector for scorer={name!r}, MinPts={k} has shape "
+                    f"{vec.shape}, expected ({self.n_points},)"
+                )
+            self._scorer_scores[(str(name), k)] = vec
+        for (name, k), mapping in (aux or {}).items():
+            k = self._check_k(int(k))
+            self._scorer_aux[(str(name), k)] = {
+                str(a): np.asarray(v, dtype=np.float64) for a, v in mapping.items()
+            }
 
     def save(self, path, X=None, metric="euclidean"):
         """Persist M (plus an optional dataset snapshot ``X`` for online

@@ -38,20 +38,23 @@ _AGGREGATES: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
 
 @dataclass
 class RangeLOFResult:
-    """LOF values across a MinPts range.
+    """Scores across a MinPts range.
 
     Attributes
     ----------
     min_pts_values : (m,) ints, the sweep grid (lb..ub inclusive).
-    lof_matrix : (m, n) LOF_MinPts(p) for each grid value and object.
+    lof_matrix : (m, n) score_MinPts(p) for each grid value and object
+        (named for the default scorer; holds whatever ``scorer`` was).
     scores : (n,) aggregated score per object (the ranking key).
     aggregate : name of the aggregation used for ``scores``.
+    scorer : registry name of the scorer that produced the matrix.
     """
 
     min_pts_values: np.ndarray
     lof_matrix: np.ndarray
     scores: np.ndarray
     aggregate: str
+    scorer: str = "lof"
 
     def aggregate_as(self, aggregate: str) -> np.ndarray:
         """Re-aggregate the stored per-MinPts matrix without recomputing."""
@@ -71,7 +74,7 @@ class RangeLOFResult:
         return self.min_pts_values, self.lof_matrix[:, int(i)]
 
 
-def lof_range(
+def score_range(
     X=None,
     min_pts_lb: int = 10,
     min_pts_ub: int = 50,
@@ -80,13 +83,19 @@ def lof_range(
     index="brute",
     duplicate_mode: str = "inf",
     materialization: Optional[MaterializationDB] = None,
+    scorer: str = "lof",
 ) -> RangeLOFResult:
-    """Compute LOF for every MinPts in [lb, ub] and aggregate.
+    """Compute any registered scorer for every MinPts in [lb, ub] and
+    aggregate (Section 6.2's sweep, generalized over the scorer zoo).
 
     Either pass the dataset ``X`` (a materialization database is built
     with ``min_pts_ub`` as the bound) or a prebuilt ``materialization``
-    covering at least ``min_pts_ub``.
+    covering at least ``min_pts_ub``. A scorer with ``requires_data``
+    (LDOF) needs ``X`` even when a materialization is supplied.
     """
+    from ..scorers import get_scorer
+
+    scorer_obj = get_scorer(scorer)
     if aggregate not in _AGGREGATES:
         raise ValidationError(
             f"aggregate must be one of {sorted(_AGGREGATES)}, got {aggregate!r}"
@@ -109,13 +118,44 @@ def lof_range(
                 f"{materialization.min_pts_ub}"
             )
     grid = np.arange(lb, ub + 1)
-    matrix = np.vstack([materialization.lof(int(k)) for k in grid])
+    matrix = np.vstack(
+        [
+            materialization.scores(int(k), scorer_obj, X=X, metric=metric)
+            for k in grid
+        ]
+    )
     scores = _AGGREGATES[aggregate](matrix)
     return RangeLOFResult(
         min_pts_values=grid,
         lof_matrix=matrix,
         scores=scores,
         aggregate=aggregate,
+        scorer=scorer_obj.name,
+    )
+
+
+def lof_range(
+    X=None,
+    min_pts_lb: int = 10,
+    min_pts_ub: int = 50,
+    aggregate: str = "max",
+    metric="euclidean",
+    index="brute",
+    duplicate_mode: str = "inf",
+    materialization: Optional[MaterializationDB] = None,
+) -> RangeLOFResult:
+    """Compute LOF for every MinPts in [lb, ub] and aggregate — the
+    paper's original sweep; :func:`score_range` with ``scorer='lof'``."""
+    return score_range(
+        X=X,
+        min_pts_lb=min_pts_lb,
+        min_pts_ub=min_pts_ub,
+        aggregate=aggregate,
+        metric=metric,
+        index=index,
+        duplicate_mode=duplicate_mode,
+        materialization=materialization,
+        scorer="lof",
     )
 
 

@@ -45,7 +45,37 @@ __all__ = [
     "lof_values",
     "lrd_of",
     "lof_of",
+    "row_sums",
+    "row_means",
 ]
+
+
+# -- generic CSR reductions ---------------------------------------------------
+#
+# ``np.add.reduceat`` lives only in this module; every scorer that needs
+# a per-neighborhood sum or mean (LOF's lrd, LDOF's mean neighbor
+# distance, LoOP's squared-distance averages) routes through these two
+# helpers so each segment is reduced by the same sequential kernel —
+# the invariant behind batch/subset/single-row bit-identity.
+
+
+def row_sums(flat_values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-row sums of a CSR-flat array (one reduceat pass)."""
+    if len(offsets) <= 1:
+        return np.empty(0, dtype=np.float64)
+    return np.add.reduceat(flat_values, offsets[:-1])
+
+
+def row_means(flat_values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-row means of a CSR-flat array.
+
+    Rows are Definition-4 neighborhoods (never empty), so the division
+    is always well-defined.
+    """
+    counts = np.diff(offsets).astype(np.float64)
+    if len(counts) == 0:
+        return np.empty(0, dtype=np.float64)
+    return row_sums(flat_values, offsets) / counts
 
 
 def reach_dist_values(

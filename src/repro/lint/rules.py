@@ -1,7 +1,8 @@
 """The rule catalog. Stable IDs; see ``docs/static-analysis.md``.
 
 ========  ===================================================================
-RL001     one-kernel: reach-dist/lrd/LOF arithmetic only in core/scoring.py
+RL001     one-kernel: scoring arithmetic only in core/scoring.py and the
+          registered scorer modules of repro.scorers
 RL002     import-layering: index → graph → kernel → surfaces, no upward edges
 RL003     obs-registry: every literal counter/span name is declared
 RL004     exception-taxonomy: store/serve raise only repro.exceptions types
@@ -92,32 +93,62 @@ class OneKernelRule(Rule):
     id = "RL001"
     name = "one-kernel"
     summary = (
-        "reach-dist/lrd/LOF arithmetic lives only in core/scoring.py "
+        "scoring arithmetic lives only in core/scoring.py and the "
+        "registered scorer modules of repro.scorers "
         "(core/reference.py exempt as the differential oracle)"
     )
 
     KERNEL = "repro.core.scoring"
+    #: Only the kernel (and the naive oracle) may host the reduceat
+    #: row-sum primitive; scorer modules must route row reductions
+    #: through scoring.row_sums/row_means.
     EXEMPT = ("repro.core.scoring", "repro.core.reference")
+    #: Score-ratio divisions are additionally allowed inside the scorer
+    #: registry — that is where per-detector arithmetic is *supposed* to
+    #: live now — but nowhere else (serve/store/baselines must call in).
+    SCORER_PACKAGE = "repro.scorers"
+    #: repro.scorers submodules that are infrastructure, not detectors:
+    #: the package __init__ and the registry/base-class module. Every
+    #: other submodule must register a scorer (see check_project).
+    SCORER_INFRA = ("repro.scorers", "repro.scorers.base")
+
+    def _in_scorer_package(self, module: str) -> bool:
+        return module == self.SCORER_PACKAGE or module.startswith(
+            self.SCORER_PACKAGE + "."
+        )
 
     def check_file(self, ctx: FileContext, project: Project) -> Iterable[Finding]:
-        if ctx.module is None or ctx.module in self.EXEMPT or ctx.tree is None:
+        if ctx.module is None or ctx.tree is None:
+            return
+        reduceat_ok = ctx.module in self.EXEMPT
+        ratio_ok = reduceat_ok or self._in_scorer_package(ctx.module)
+        if reduceat_ok and ratio_ok:
             return
         for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Attribute) and self._is_reduceat(node):
+            if (
+                not reduceat_ok
+                and isinstance(node, ast.Attribute)
+                and self._is_reduceat(node)
+            ):
                 yield ctx.finding(
                     self.id,
                     node,
                     "np.add.reduceat row-sum kernel outside the scoring "
                     "kernel; route through repro.core.scoring",
                 )
-            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            elif (
+                not ratio_ok
+                and isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Div)
+            ):
                 label = self._ratio_label(node)
                 if label:
                     yield ctx.finding(
                         self.id,
                         node,
-                        f"{label} reimplements Definition 6/7 math; call "
-                        "repro.core.scoring (lrd_values/lof_values)",
+                        f"{label} reimplements scorer math outside the "
+                        "kernel and the repro.scorers registry; call "
+                        "repro.core.scoring or a registered scorer",
                     )
 
     @staticmethod
@@ -135,6 +166,12 @@ class OneKernelRule(Rule):
         right = terminal_name(node.right)
         if left and right and "lrd" in left.lower() and "lrd" in right.lower():
             return "lrd/lrd ratio"
+        if left and right and "pdist" in left.lower() and "pdist" in right.lower():
+            return "pdist/pdist PLOF ratio"
+        if left and right and "dbar" in left.lower() and (
+            "dbar" in right.lower() or "inner" in right.lower()
+        ):
+            return "dbar/inner LDOF ratio"
         if left == "counts" and right == "sums":
             return "counts/sums lrd division"
         if (
@@ -150,19 +187,44 @@ class OneKernelRule(Rule):
         # Guard the guard: if scoring.py loses the reduceat row sums the
         # containment checks above pass vacuously.
         ctx = project.module(self.KERNEL)
-        if ctx is None or ctx.tree is None:
-            return
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Attribute) and self._is_reduceat(node):
-                return
-        yield Finding(
-            self.id,
-            ctx.rel,
-            1,
-            0,
-            "core/scoring.py no longer contains the np.add.reduceat row-sum "
-            "kernel — the one-kernel containment rule would pass vacuously",
-        )
+        if ctx is not None and ctx.tree is not None and not any(
+            isinstance(node, ast.Attribute) and self._is_reduceat(node)
+            for node in ast.walk(ctx.tree)
+        ):
+            yield Finding(
+                self.id,
+                ctx.rel,
+                1,
+                0,
+                "core/scoring.py no longer contains the np.add.reduceat row-sum "
+                "kernel — the one-kernel containment rule would pass vacuously",
+            )
+        # Guard the ratio exemption too: a repro.scorers submodule gets
+        # a free pass on ratio math *because* it is a registered
+        # detector. A submodule that never calls register() is scoring
+        # arithmetic hiding inside the exempt namespace.
+        for sctx in project.contexts:
+            if sctx.module is None or sctx.tree is None:
+                continue
+            if not self._in_scorer_package(sctx.module):
+                continue
+            if sctx.module in self.SCORER_INFRA:
+                continue
+            if any(
+                isinstance(node, ast.Call)
+                and terminal_name(node.func) == "register"
+                for node in ast.walk(sctx.tree)
+            ):
+                continue
+            yield Finding(
+                self.id,
+                sctx.rel,
+                1,
+                0,
+                f"{sctx.module} lives in the ratio-exempt repro.scorers "
+                "namespace but never calls register(...) — scorer modules "
+                "must register their detector or move the math elsewhere",
+            )
 
 
 # ---------------------------------------------------------------------------

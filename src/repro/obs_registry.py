@@ -20,6 +20,10 @@ COUNTERS = (
     'knn.queries',
     'materialize.blocks',
     'mscan.passes',
+    'scorer.knn_dist.points',
+    'scorer.ldof.points',
+    'scorer.lof.points',
+    'scorer.loop.points',
     'serve.batch.batches',
     'serve.batch.coalesced',
     'serve.batch.requests',

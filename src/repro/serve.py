@@ -13,11 +13,16 @@ about the training objects:
 1. find q's tie-inclusive MinPts-distance neighborhood N(q) among the
    stored vectors (Definition 4, same ``(distance, id)`` order and the
    same tie kernels as the batch builders — :mod:`repro.index.batch`);
-2. ``reach-dist(q, o) = max(k-distance(o), d(q, o))`` uses the *stored*
-   k-distances of the neighbors o (Definition 5);
-3. ``lrd(q)`` and ``LOF(q)`` run through the shared
-   :mod:`repro.core.scoring` kernels against the stored per-MinPts lrd
-   vectors (Definitions 6-7) — this module re-implements no ratio math.
+2. hand the per-query :class:`~repro.core.graph.NeighborhoodView` to
+   the active registry scorer's ``score_query`` (:mod:`repro.scorers`)
+   — for LOF that is ``reach-dist(q, o) = max(k-distance(o), d(q, o))``
+   over the *stored* k-distances (Definition 5) followed by the shared
+   lrd/LOF kernels of :mod:`repro.core.scoring` (Definitions 6-7); this
+   module re-implements no ratio math for any scorer.
+
+The active scorer defaults to what the store was fitted with (header
+``scorer``, ``lof`` for v2 stores); a per-request ``scorer`` selector
+overrides it, so one loaded model answers for the whole zoo.
 
 Scoring a query that *is* a stored object (``exclude=i`` with bitwise
 equal coordinates) reuses row i of the stored neighborhood graph, so the
@@ -49,9 +54,10 @@ The HTTP surface (``repro-lof serve``) is a stdlib
 :class:`~http.server.ThreadingHTTPServer` speaking persistent
 HTTP/1.1 JSON::
 
-    POST /score         {"points": [[...], ...], "min_pts": 12?}
+    POST /score         {"points": [[...], ...], "min_pts": 12?,
+                         "scorer": "ldof"?}
                         -> {"scores": [...], "min_pts": [...],
-                            "aggregate": "max"}
+                            "aggregate": "max", "scorer": "ldof"}
     POST /admin/reload  {"path": "...?"} -> hot-swap the store
     GET  /model         store metadata (kind, n points, grid, ...)
     GET  /stats         cache, batcher and scoring counters
@@ -95,6 +101,7 @@ from .core.parallel import fork_available, fork_workers, wait_workers
 from .core.range_lof import _AGGREGATES
 from .exceptions import ReproError, ServeError, ValidationError
 from .index.batch import apply_exclusions, select_tie_inclusive, tie_threshold
+from .scorers import ScorerContext, get_scorer, list_scorers
 from .store import StoredModel, load_model, store_fingerprint
 
 try:  # pragma: no cover - absent only on non-POSIX platforms
@@ -236,6 +243,9 @@ class OnlineScorer:
         :func:`~repro.store.load_model`; it must carry the dataset
         snapshot (estimator stores always do).
     cache_size : LRU entries for per-point score reuse (0 disables).
+    scorer : registry scorer name to serve by default (``None`` takes
+        the store's fitted scorer). Any registered scorer can still be
+        requested per call via ``score_new(..., scorer=...)``.
 
     The MinPts grid and aggregate default to what the stored estimator
     was fitted with; a bare materialization store scores at its
@@ -247,11 +257,16 @@ class OnlineScorer:
     serial cache/obs counters.
     """
 
-    def __init__(self, model: StoredModel, cache_size: int = 1024):
+    def __init__(self, model: StoredModel, cache_size: int = 1024, scorer=None):
         self.model = model
         self.mat = model.mat
         self.X = np.ascontiguousarray(model.require_snapshot(), dtype=np.float64)
         self.metric = model.metric_object()
+        # None means "whatever the store says" — remembered separately
+        # so a hot-swap reload re-resolves against the new store, while
+        # an explicit override survives the swap.
+        self._scorer_override = None if scorer is None else get_scorer(scorer).name
+        self._scorer = get_scorer(self._scorer_override or model.scorer)
         meta = model.estimator or {}
         lb = int(meta.get("min_pts_lb", self.mat.min_pts_ub))
         ub = int(meta.get("min_pts_ub", self.mat.min_pts_ub))
@@ -266,6 +281,12 @@ class OnlineScorer:
         self.cache = LRUCache(cache_size)  # reprolint: lock-guarded
         self._extrema: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}  # reprolint: lock-guarded
         self._warmed_ks: set = set()  # reprolint: lock-guarded
+        self._scorer_points: Dict[str, int] = {}  # reprolint: lock-guarded
+
+    @property
+    def scorer_name(self) -> str:
+        """Name of the scorer this instance serves by default."""
+        return self._scorer.name
 
     @classmethod
     def from_path(
@@ -274,9 +295,14 @@ class OnlineScorer:
         mmap: bool = False,
         verify: bool = True,
         cache_size: int = 1024,
+        scorer=None,
     ) -> "OnlineScorer":
         """Load a store file and build a scorer for it."""
-        return cls(load_model(path, mmap=mmap, verify=verify), cache_size=cache_size)
+        return cls(
+            load_model(path, mmap=mmap, verify=verify),
+            cache_size=cache_size,
+            scorer=scorer,
+        )
 
     # -- scoring --------------------------------------------------------------
 
@@ -286,30 +312,36 @@ class OnlineScorer:
         min_pts: Optional[int] = None,
         exclude=None,
         use_cache: bool = True,
+        scorer=None,
     ) -> np.ndarray:
-        """LOF of each row of ``Xq`` relative to the stored model.
+        """Score each row of ``Xq`` relative to the stored model.
 
         ``min_pts=None`` sweeps the stored grid and aggregates exactly
-        like the fitted estimator; an int scores plain LOF_MinPts.
+        like the fitted estimator; an int scores a single MinPts.
         ``exclude`` (per-row stored-object id, -1 for none) removes that
         object from the query's candidate neighbors — pass ``exclude=i``
-        with the stored row i itself to recover the fitted LOF value
-        bit-for-bit.
+        with the stored row i itself to recover the fitted value
+        bit-for-bit. ``scorer`` picks any registered scorer for this
+        call (``None`` = the instance default, normally the store's
+        fitted scorer).
 
         Thread-safe without serializing the kernels: concurrent callers
         compute disjoint cache misses in parallel; a key being computed
         by one thread is awaited by the others (single-flight), so the
         cache counters stay exactly the serial values.
         """
+        active = self._scorer if scorer is None else get_scorer(scorer)
         Xq, exclude, ks = self._check_query(Xq, exclude, min_pts)
-        self._ensure_ks(ks)
+        self._ensure_ks(ks, active)
         m = Xq.shape[0]
         if not use_cache:
-            out = self._score_rows(Xq, exclude, ks)
-            obs.incr("serve.points_scored", m)
+            out = self._score_rows(Xq, exclude, ks, active)
+            self._note_points(active.name, m)
             return out
         out = np.empty(m, dtype=np.float64)
-        keys = [(Xq[i].tobytes(), int(exclude[i]), ks) for i in range(m)]
+        keys = [
+            (active.name, Xq[i].tobytes(), int(exclude[i]), ks) for i in range(m)
+        ]
         miss_rows: List[int] = []
         waiting: List[Tuple[int, _PendingScore]] = []
         owned: Dict = {}
@@ -333,7 +365,7 @@ class OnlineScorer:
             try:
                 # The expensive part — kernels over the frozen model,
                 # deliberately outside the lock so threads overlap.
-                scores = self._score_rows(Xq[miss_rows], exclude[miss_rows], ks)
+                scores = self._score_rows(Xq[miss_rows], exclude[miss_rows], ks, active)
             except BaseException as exc:
                 with self._lock:
                     for key, pending in owned.items():
@@ -350,7 +382,7 @@ class OnlineScorer:
                         pending.resolve(value)
         for i, pending in waiting:
             out[i] = pending.result()
-        obs.incr("serve.points_scored", m)
+        self._note_points(active.name, m)
         return out
 
     def classify_new(
@@ -359,6 +391,7 @@ class OnlineScorer:
         min_pts: Optional[int] = None,
         threshold: Optional[float] = None,
         exclude=None,
+        scorer=None,
     ) -> ClassifyResult:
         """Label queries inlier/outlier, short-circuiting with Theorem 1.
 
@@ -370,11 +403,31 @@ class OnlineScorer:
         aggregated score. Only queries whose bracket straddles the
         threshold pay for the exact kernels
         (``serve.bounds.pruned`` / ``serve.bounds.exact`` counters).
+
+        Theorem 1 brackets LOF specifically; for a scorer without bound
+        support the method degrades gracefully to exact scoring — every
+        query is scored, the bracket collapses to the score itself, and
+        ``pruned`` is 0.
         """
+        active = self._scorer if scorer is None else get_scorer(scorer)
         Xq, exclude, ks = self._check_query(Xq, exclude, min_pts)
-        self._ensure_ks(ks)
+        self._ensure_ks(ks, active)
         thr = self.threshold if threshold is None else float(threshold)
         m = Xq.shape[0]
+        if not active.supports_bounds:
+            exact_scores = self.score_new(
+                Xq, min_pts=min_pts, exclude=exclude, scorer=active.name
+            )
+            labels = np.where(exact_scores > thr, -1, 1).astype(np.int64)
+            obs.incr("serve.bounds.exact", m)
+            return ClassifyResult(
+                labels=labels,
+                lower=exact_scores.copy(),
+                upper=exact_scores.copy(),
+                scores=exact_scores,
+                pruned=0,
+                exact=m,
+            )
         lowers = np.empty((len(ks), m))
         uppers = np.empty((len(ks), m))
         for row_k, k in enumerate(ks):
@@ -424,12 +477,15 @@ class OnlineScorer:
         """Cache info plus the model's scoring identity."""
         with self._lock:
             cache_info = self.cache.cache_info()
+            per_scorer = dict(self._scorer_points)
         return {
             "n_points": int(self.mat.n_points),
             "min_pts_grid": [int(k) for k in self.min_pts_grid],
             "aggregate": self.aggregate,
             "threshold": self.threshold,
             "duplicate_mode": self.mat.duplicate_mode,
+            "scorer": self.scorer_name,
+            "scorers": per_scorer,
             "cache": cache_info,
         }
 
@@ -439,6 +495,8 @@ class OnlineScorer:
         header.pop("sections", None)
         header.pop("obs_snapshot", None)
         header["fingerprint"] = store_fingerprint(self.model.header)
+        header["scorer"] = self.scorer_name
+        header["registered_scorers"] = list_scorers()
         return header
 
     # -- internals ------------------------------------------------------------
@@ -468,37 +526,38 @@ class OnlineScorer:
             ks = (self.mat._check_k(int(min_pts)),)
         return Xq, exclude, ks
 
-    def _ensure_ks(self, ks) -> None:
-        """Warm the frozen per-MinPts inputs once, under the lock.
+    def _ensure_ks(self, ks, scorer) -> None:
+        """Warm the frozen per-(scorer, MinPts) inputs once, under the lock.
 
-        The materialization's per-k view/k-distance/lrd caches fill
-        lazily on first touch; serializing that first touch here keeps
-        the step-2 scan counters (``mscan.passes``) exactly serial and
-        makes every later read on the scoring path a pure read of
-        immutable arrays — which is what lets the kernels run lock-free.
+        The materialization's per-k caches (view, k-distances, and
+        whatever the scorer's ``warm`` adds — lrd for LOF, the
+        pdist/nPLOF aux state for LoOP) fill lazily on first touch;
+        serializing that first touch here keeps the step-2 scan counters
+        (``mscan.passes``) exactly serial and makes every later read on
+        the scoring path a pure read of immutable arrays — which is what
+        lets the kernels run lock-free.
         """
         with self._lock:
             for k in ks:
-                if k not in self._warmed_ks:
-                    self.mat.view(k)
-                    self.mat.k_distances(k)
-                    self.mat.lrd(k)
-                    self._warmed_ks.add(k)
+                if (scorer.name, k) not in self._warmed_ks:
+                    scorer.warm(self._scorer_context(k))
+                    self._warmed_ks.add((scorer.name, k))
 
-    def _score_rows(self, Xq, exclude, ks) -> np.ndarray:
+    def _scorer_context(self, k: int) -> ScorerContext:
+        return ScorerContext(mat=self.mat, k=k, X=self.X, metric=self.metric)
+
+    def _note_points(self, scorer_name: str, m: int) -> None:
+        obs.incr("serve.points_scored", m)
+        with self._lock:
+            self._scorer_points[scorer_name] = (
+                self._scorer_points.get(scorer_name, 0) + m
+            )
+
+    def _score_rows(self, Xq, exclude, ks, scorer) -> np.ndarray:
         matrix = np.empty((len(ks), Xq.shape[0]))
         for row_k, k in enumerate(ks):
             view, kdist_q = self._query_view(Xq, exclude, k)
-            lrd_train = self.mat.lrd(k)
-            reach = scoring.reach_dist_values(
-                view.dists, self.mat.k_distances(k)[view.ids]
-            )
-            lrd_q = scoring.lrd_values(
-                reach, view.offsets, duplicate_mode=self.mat.duplicate_mode
-            )
-            matrix[row_k] = scoring.lof_values(
-                lrd_q, lrd_train[view.ids], view.offsets
-            )
+            matrix[row_k] = scorer.score_query(self._scorer_context(k), view, kdist_q)
         if len(ks) == 1:
             return matrix[0]
         return _AGGREGATES[self.aggregate](matrix)
@@ -621,9 +680,10 @@ class ScoreBatcher:
     batcher thread drains it: starting from the first waiting request it
     accumulates more for up to ``batch_window_ms`` (or until
     ``max_batch`` points are gathered), groups compatible requests
-    (same ``min_pts`` selector), stacks each group's points into one
-    ``Xq`` and runs a **single** ``score_new`` per group, then
-    demultiplexes the score slices back to the per-request futures.
+    (same ``min_pts`` selector and same requested scorer), stacks each
+    group's points into one ``Xq`` and runs a **single** ``score_new``
+    per group, then demultiplexes the score slices back to the
+    per-request futures.
 
     Every query row is independent in every kernel on the scoring path
     (pairwise block rows, tie selection, reach/lrd/LOF row reductions),
@@ -659,20 +719,24 @@ class ScoreBatcher:
         )
         self._thread.start()
 
-    def submit(self, points, min_pts: Optional[int]) -> _PendingScore:
+    def submit(self, points, min_pts: Optional[int], scorer=None) -> _PendingScore:
         """Validate and enqueue one request; returns its future.
 
         Validation happens eagerly against the current scorer so a
-        malformed request fails its own caller (HTTP 400) instead of
-        poisoning the batch it would have joined.
+        malformed request (including an unknown ``scorer`` name) fails
+        its own caller (HTTP 400) instead of poisoning the batch it
+        would have joined. ``scorer=None`` means "whatever scorer is
+        active at execution time" — consistent with hot-swap semantics.
         """
         if self._closed:
             raise ServeError("the scoring service is shutting down")
-        scorer = self._scorer_ref()
-        Xq, _, _ = scorer._check_query(points, None, min_pts)
+        online = self._scorer_ref()
+        if scorer is not None:
+            scorer = get_scorer(scorer).name
+        Xq, _, _ = online._check_query(points, None, min_pts)
         pending = _PendingScore()
         obs.incr("serve.batch.requests")
-        self._queue.put((Xq, min_pts, pending))
+        self._queue.put((Xq, min_pts, scorer, pending))
         return pending
 
     def queue_depth(self) -> int:
@@ -725,11 +789,11 @@ class ScoreBatcher:
             self._execute(batch)
 
     def _execute(self, batch) -> None:
-        scorer = self._scorer_ref()
+        online = self._scorer_ref()
         groups: "OrderedDict" = OrderedDict()
         for entry in batch:
-            groups.setdefault(entry[1], []).append(entry)
-        for min_pts, group in groups.items():
+            groups.setdefault((entry[1], entry[2]), []).append(entry)
+        for (min_pts, scorer_name), group in groups.items():
             stacked = (
                 group[0][0]
                 if len(group) == 1
@@ -742,13 +806,15 @@ class ScoreBatcher:
             self.coalesced += len(group) - 1
             self.points += stacked.shape[0]
             try:
-                scores = scorer.score_new(stacked, min_pts=min_pts)
+                scores = online.score_new(
+                    stacked, min_pts=min_pts, scorer=scorer_name
+                )
             except BaseException as exc:
-                for _, _, pending in group:
+                for _, _, _, pending in group:
                     pending.fail(exc)
                 continue
             offset = 0
-            for Xq, _, pending in group:
+            for Xq, _, _, pending in group:
                 pending.resolve(scores[offset:offset + Xq.shape[0]])
                 offset += Xq.shape[0]
 
@@ -866,6 +932,9 @@ class _ModelHTTPServer(ThreadingHTTPServer):
                 target,
                 mmap=current.model.mmap if mmap is None else mmap,
                 cache_size=current.cache.capacity,
+                # An explicit --scorer override outlives the swap; a
+                # store-default scorer re-resolves against the new store.
+                scorer=current._scorer_override,
             )
             self.scorer = new_scorer
             self._reloads += 1
@@ -976,14 +1045,25 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(400, {"error": 'request must be {"points": [[...], ...]}'})
             return
         min_pts = request.get("min_pts")
+        scorer_name = request.get("scorer")
         try:
             if min_pts is not None:
                 min_pts = int(min_pts)
+            if scorer_name is not None and not isinstance(scorer_name, str):
+                raise ValidationError("scorer must be a registered scorer name")
+            if scorer_name is not None:
+                # Resolve eagerly: an unknown scorer is the caller's
+                # mistake (400), never a 500 from deep in a batch.
+                scorer_name = get_scorer(scorer_name).name
             batcher = self.server.batcher
             if batcher is not None:
-                scores = batcher.submit(request["points"], min_pts).result()
+                scores = batcher.submit(
+                    request["points"], min_pts, scorer=scorer_name
+                ).result()
             else:
-                scores = scorer.score_new(request["points"], min_pts=min_pts)
+                scores = scorer.score_new(
+                    request["points"], min_pts=min_pts, scorer=scorer_name
+                )
         except ServeError as exc:
             self._reply(503, {"error": str(exc)})
             return
@@ -997,6 +1077,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "scores": [float(s) for s in scores],
                 "min_pts": [int(k) for k in ks],
                 "aggregate": scorer.aggregate if min_pts is None else None,
+                "scorer": scorer_name or scorer.scorer_name,
             },
         )
         self.server.note_scored()
@@ -1049,12 +1130,16 @@ def make_server(
     max_queue: int = 1024,
     worker_index: int = 0,
     workers: int = 1,
+    scorer=None,
 ) -> _ModelHTTPServer:
     """Build (but do not start) the scoring server; ``port=0`` binds an
     ephemeral port, readable from ``server.server_address``.
     ``batch_window_ms=None`` disables request coalescing (each request
-    scores by itself, the pre-fleet behavior)."""
-    scorer = OnlineScorer.from_path(store_path, mmap=mmap, cache_size=cache_size)
+    scores by itself, the pre-fleet behavior). ``scorer`` overrides the
+    store's fitted scorer as the service default."""
+    scorer = OnlineScorer.from_path(
+        store_path, mmap=mmap, cache_size=cache_size, scorer=scorer
+    )
     return _ModelHTTPServer(
         (host, port),
         scorer,
@@ -1092,6 +1177,7 @@ def run_server(
     batch_window_ms: Optional[float] = 2.0,
     max_batch: int = 64,
     max_queue: int = 1024,
+    scorer=None,
 ) -> int:
     """Load a store and serve it over HTTP until interrupted (or until
     ``max_requests`` scored POSTs; shutdown drains in-flight requests)."""
@@ -1105,12 +1191,14 @@ def run_server(
         batch_window_ms=batch_window_ms,
         max_batch=max_batch,
         max_queue=max_queue,
+        scorer=scorer,
     )
     bound_host, bound_port = server.server_address[:2]
     print(
         f"serving {store_path} on http://{bound_host}:{bound_port} "
         f"(n={server.scorer.mat.n_points}, "
-        f"min_pts={list(server.scorer.min_pts_grid)})",
+        f"min_pts={list(server.scorer.min_pts_grid)}, "
+        f"scorer={server.scorer.scorer_name})",
         flush=True,
     )
     return _serve_until_done(server)
@@ -1126,6 +1214,7 @@ def run_fleet(
     batch_window_ms: Optional[float] = 2.0,
     max_batch: int = 64,
     max_queue: int = 1024,
+    scorer=None,
 ) -> int:
     """Serve one store from ``workers`` forked processes on one port.
 
@@ -1149,6 +1238,7 @@ def run_fleet(
             batch_window_ms=batch_window_ms,
             max_batch=max_batch,
             max_queue=max_queue,
+            scorer=scorer,
         )
     sock = _make_listening_socket(host, port)
     bound_host, bound_port = sock.getsockname()[:2]
@@ -1172,6 +1262,7 @@ def run_fleet(
             max_queue=max_queue,
             worker_index=index,
             workers=workers,
+            scorer=scorer,
         )
         return _serve_until_done(server)
 

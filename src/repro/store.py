@@ -15,23 +15,31 @@ A store holds, in one self-describing binary file:
 * the duplicate-mode policy and, for ``'distinct'``, the coordinate
   group keys;
 * every per-MinPts lrd/LOF cache vector the model had computed;
+* every non-LOF registry score vector (``score@{scorer}@{k}``) and
+  scorer aux array (``aux@{scorer}@{name}@{k}``) the model had computed
+  — e.g. LoOP's per-object pdist vector and nPLOF scalar — plus the
+  active scorer's name in the header;
 * optionally the dataset snapshot ``X`` (required for online scoring of
   new points) and the fitted-estimator results (per-MinPts LOF matrix,
   aggregated scores, the MinPts grid and aggregate);
 * the metric identity and, when available, the instrumentation (obs)
   snapshot of the fit.
 
-File format (version 2)
+File format (version 3)
 -----------------------
 Everything is little-endian::
 
     magic    8 bytes   b"REPROLOF"
-    version  u32       format version (currently 2)
+    version  u32       format version (currently 3)
     reserved u32       zero
     hlen     u64       byte length of the JSON header that follows
     header   hlen      UTF-8 JSON (metadata + section table)
     ...      ...       zero padding to the first 64-byte boundary
     sections           raw array bytes, each starting 64-byte aligned
+
+Version 3 adds the ``scorer`` header key and the per-scorer
+``score@``/``aux@`` sections; version 2 files (no scorer metadata) are
+still readable and load as ``scorer='lof'``.
 
 The header's ``sections`` table lists, per section: ``name``, ``dtype``
 (numpy little-endian string), ``shape``, ``offset`` (absolute, 64-byte
@@ -77,7 +85,10 @@ from .exceptions import (
 PathLike = Union[str, Path]
 
 MAGIC = b"REPROLOF"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+#: Versions this build can load. v2 lacks the scorer metadata and the
+#: per-scorer score/aux sections; it loads as scorer='lof'.
+_READABLE_VERSIONS = (2, 3)
 _ALIGN = 64
 _HEADER_FIXED = 8 + 4 + 4 + 8  # magic + version + reserved + hlen
 _HASH_CHUNK = 1 << 22  # 4 MiB per read while verifying checksums
@@ -109,6 +120,7 @@ class StoredModel:
     X: Optional[np.ndarray] = None
     metric: str = "euclidean"
     metric_p: Optional[float] = None
+    scorer: str = "lof"
     estimator: Optional[Dict] = None
     lof_matrix: Optional[np.ndarray] = None
     scores: Optional[np.ndarray] = None
@@ -173,14 +185,16 @@ def save_model(
     model,
     X=None,
     metric="euclidean",
+    scorer="lof",
 ) -> Path:
     """Persist a fitted model to ``path`` in the format above.
 
     ``model`` is either a :class:`~repro.core.materialization.
     MaterializationDB` or a fitted :class:`~repro.core.estimator.
-    LocalOutlierFactor` (which brings its own snapshot, metric, grid and
-    obs profile — ``X``/``metric`` are then taken from the estimator and
-    must not be passed). Returns the path written.
+    LocalOutlierFactor` (which brings its own snapshot, metric, grid,
+    scorer and obs profile — ``X``/``metric``/``scorer`` are then taken
+    from the estimator and must not be passed). Returns the path
+    written.
     """
     from .core.estimator import LocalOutlierFactor
     from .core.materialization import MaterializationDB
@@ -193,7 +207,7 @@ def save_model(
             )
         return _save_estimator(path, model)
     if isinstance(model, MaterializationDB):
-        return _save_materialization(path, model, X=X, metric=metric)
+        return _save_materialization(path, model, X=X, metric=metric, scorer=scorer)
     raise ValidationError(
         "save_model accepts a MaterializationDB or a fitted "
         f"LocalOutlierFactor, got {type(model).__name__}"
@@ -213,6 +227,15 @@ def _mat_sections(mat, X) -> Dict[str, np.ndarray]:
         sections[f"lrd@{k}"] = vec
     for k, vec in sorted(mat.cached_lof().items()):
         sections[f"lof@{k}"] = vec
+    # Registry caches. LOF score vectors are skipped: lof@{k} above is
+    # the same data, and the loader re-seeds the lof scorer from it.
+    for (name, k), vec in sorted(mat.cached_scorer_scores().items()):
+        if name == "lof":
+            continue
+        sections[f"score@{name}@{k}"] = vec
+    for (name, k), mapping in sorted(mat.cached_scorer_aux().items()):
+        for aname, arr in sorted(mapping.items()):
+            sections[f"aux@{name}@{aname}@{k}"] = arr
     return sections
 
 
@@ -220,7 +243,9 @@ def _section_dtype(name: str) -> str:
     return "<i8" if name in ("padded_ids", "coord_keys", "min_pts_values") else "<f8"
 
 
-def _save_materialization(path: Path, mat, X=None, metric="euclidean") -> Path:
+def _save_materialization(path: Path, mat, X=None, metric="euclidean", scorer="lof") -> Path:
+    from .scorers import get_scorer
+
     if X is not None:
         from ._validation import check_data
 
@@ -239,6 +264,7 @@ def _save_materialization(path: Path, mat, X=None, metric="euclidean") -> Path:
         "min_pts_ub": int(mat.min_pts_ub),
         "duplicate_mode": mat.duplicate_mode,
         "metric": _metric_identity(metric),
+        "scorer": get_scorer(scorer).name,
     }
     return _write(path, header, _mat_sections(mat, X))
 
@@ -260,11 +286,13 @@ def _save_estimator(path: Path, est) -> Path:
         "min_pts_ub": int(mat.min_pts_ub),
         "duplicate_mode": mat.duplicate_mode,
         "metric": _metric_identity(est.metric),
+        "scorer": getattr(est, "scorer", "lof"),
         "estimator": {
             "aggregate": result.aggregate,
             "threshold": float(est.threshold),
             "min_pts_lb": int(result.min_pts_values[0]),
             "min_pts_ub": int(result.min_pts_values[-1]),
+            "scorer": getattr(est, "scorer", "lof"),
         },
         "obs_snapshot": est.profile_,
     }
@@ -351,10 +379,11 @@ def read_header(path: PathLike) -> Dict:
                 f"{path} is not a repro model store (bad or missing magic)"
             )
         version = int.from_bytes(fixed[8:12], "little")
-        if version != FORMAT_VERSION:
+        if version not in _READABLE_VERSIONS:
+            readable = ", ".join(str(v) for v in _READABLE_VERSIONS)
             raise StoreVersionError(
                 f"{path} uses store format version {version}; this build "
-                f"reads version {FORMAT_VERSION} only"
+                f"reads versions {readable} only"
             )
         hlen = int.from_bytes(fixed[16:24], "little")
         blob = fh.read(hlen)
@@ -486,12 +515,21 @@ def load_model(path: PathLike, mmap: bool = False, verify: bool = True) -> Store
     )
     lrd_cache: Dict[int, np.ndarray] = {}
     lof_cache: Dict[int, np.ndarray] = {}
+    scorer_scores: Dict = {}
+    scorer_aux: Dict = {}
     for name in by_name:
         if name.startswith("lrd@"):
             lrd_cache[int(name[4:])] = np.asarray(load(name))
         elif name.startswith("lof@"):
             lof_cache[int(name[4:])] = np.asarray(load(name))
+        elif name.startswith("score@"):
+            _, sname, k = name.split("@")
+            scorer_scores[(sname, int(k))] = np.asarray(load(name))
+        elif name.startswith("aux@"):
+            _, sname, aname, k = name.split("@")
+            scorer_aux.setdefault((sname, int(k)), {})[aname] = np.asarray(load(name))
     mat.seed_caches(lrd=lrd_cache, lof=lof_cache)
+    mat.seed_scorer_caches(scores=scorer_scores, aux=scorer_aux)
 
     metric_ident = header.get("metric") or {"name": "euclidean"}
     model = StoredModel(
@@ -502,6 +540,7 @@ def load_model(path: PathLike, mmap: bool = False, verify: bool = True) -> Store
         X=load("X") if "X" in by_name else None,
         metric=metric_ident.get("name", "euclidean"),
         metric_p=metric_ident.get("p"),
+        scorer=str(header.get("scorer", "lof")),
         estimator=header.get("estimator"),
         mmap=mmap,
         obs_snapshot=header.get("obs_snapshot"),

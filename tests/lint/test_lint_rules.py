@@ -90,6 +90,58 @@ class TestRL001OneKernel:
         )
         assert any("vacuously" in f.message for f in report.findings)
 
+    RATIO_MATH = """
+        def my_plof(pdist_self, expected_pdist):
+            return pdist_self / expected_pdist - 1.0
+
+        def my_ldof(dbar, inner):
+            return dbar / inner
+    """
+
+    def test_registered_scorer_module_may_hold_ratio_math(self):
+        assert_clean(
+            self.RATIO_MATH + "        register(object())\n",
+            "src/repro/scorers/myscorer.py",
+            "RL001",
+        )
+
+    def test_ratio_math_outside_registry_flagged(self):
+        report = assert_flags(
+            self.RATIO_MATH, "src/repro/core/fastpath.py", "RL001", times=2
+        )
+        messages = " ".join(f.message for f in report.findings)
+        assert "pdist/pdist" in messages and "dbar/inner" in messages
+
+    def test_reduceat_still_banned_inside_scorer_modules(self):
+        # The ratio exemption does not extend to the row-sum primitive:
+        # scorer modules must call scoring.row_sums/row_means.
+        assert_flags(
+            """
+            import numpy as np
+
+            def my_sums(values, offsets):
+                return np.add.reduceat(values, offsets)
+
+            register(object())
+            """,
+            "src/repro/scorers/myscorer.py",
+            "RL001",
+            times=1,
+        )
+
+    def test_scorer_module_without_register_flagged(self):
+        report = assert_flags(
+            self.RATIO_MATH, "src/repro/scorers/freeloader.py", "RL001", times=1
+        )
+        assert "register" in report.findings[0].message
+
+    def test_scorer_infra_modules_need_no_register(self):
+        for rel in (
+            "src/repro/scorers/__init__.py",
+            "src/repro/scorers/base.py",
+        ):
+            assert_clean("X = 1\n", rel, "RL001")
+
 
 class TestRL002ImportLayering:
     def test_bad_index_imports_graph(self):

@@ -1,0 +1,144 @@
+"""Store persistence of the scorer zoo: save → load → score bit-for-bit.
+
+Acceptance criteria pinned here:
+
+* all four scorers' fitted vectors round-trip through a version-3 store
+  bit-identically (score sections + LoOP's pdist/nPLOF aux state);
+* online ``score_new`` on a loaded store reproduces every scorer's
+  fitted scores bit-for-bit on the self path (serve-vs-batch identity);
+* a version-2 store — no scorer metadata at all — still loads, as
+  ``scorer='lof'``;
+* an unknown future version is rejected with a typed error.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import LocalOutlierFactor, load_model, materialize, save_model
+from repro.exceptions import StoreVersionError
+from repro.serve import OnlineScorer
+from repro.store import read_header
+
+ALL_SCORERS = ("knn_dist", "ldof", "lof", "loop")
+
+
+class TestScorerSections:
+    def test_all_scorers_round_trip_bit_identically(self, zoo_store):
+        path, X, fitted = zoo_store
+        model = load_model(path)
+        for (name, k), want in fitted.items():
+            got = model.mat.scores(k, scorer=name, X=X, metric="euclidean")
+            assert np.array_equal(got, want), (name, k)
+
+    def test_loop_aux_round_trips_bit_identically(self, zoo_store):
+        path, X, _ = zoo_store
+        mat = materialize(X, 10)
+        want = mat.scorer_aux("loop", 5)
+        got = load_model(path).mat.cached_scorer_aux()[("loop", 5)]
+        assert set(got) == {"pdist", "nplof"}
+        assert np.array_equal(got["pdist"], want["pdist"])
+        assert np.array_equal(got["nplof"], want["nplof"])
+
+    def test_section_names(self, zoo_store):
+        path, _, _ = zoo_store
+        names = {e["name"] for e in read_header(path)["sections"]}
+        # LOF rides the classic lof@{k} sections; only the cousins get
+        # score@ sections, and only LoOP has aux state.
+        assert "score@ldof@5" in names and "score@knn_dist@8" in names
+        assert "aux@loop@pdist@5" in names and "aux@loop@nplof@5" in names
+        assert not any(n.startswith("score@lof@") for n in names)
+
+    def test_header_scorer_key(self, zoo_store):
+        path, _, _ = zoo_store
+        header = read_header(path)
+        assert header["format_version"] == 3
+        assert header["scorer"] == "lof"
+        assert load_model(path).scorer == "lof"
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    @pytest.mark.parametrize("name", ALL_SCORERS)
+    def test_self_path_bit_identical_per_scorer(self, zoo_store, name, mmap):
+        # The serve-vs-batch invariant: scoring a stored object's own
+        # neighborhood through the online path reproduces the fitted
+        # value bit-for-bit, in-memory or memmap.
+        path, X, fitted = zoo_store
+        sc = OnlineScorer.from_path(path, mmap=mmap, scorer=name)
+        for k in (5, 8):
+            got = sc.score_new(X, min_pts=k, exclude=np.arange(len(X)))
+            assert np.array_equal(got, fitted[(name, k)]), (name, k)
+
+
+class TestEstimatorScorer:
+    @pytest.mark.parametrize("name", ("ldof", "loop"))
+    def test_estimator_records_and_restores_its_scorer(
+        self, tmp_path, two_density_clusters, name
+    ):
+        est = LocalOutlierFactor(min_pts=(4, 8), scorer=name).fit(
+            two_density_clusters
+        )
+        path = tmp_path / "est.rlof"
+        est.save(path)
+        model = load_model(path)
+        assert model.scorer == name
+        assert model.estimator["scorer"] == name
+        reloaded = LocalOutlierFactor.load(path)
+        assert reloaded.scorer == name
+        assert np.array_equal(reloaded.scores_, est.scores_)
+        assert np.array_equal(reloaded.lof_matrix_, est.lof_matrix_)
+
+
+def _patch_version(path, version, drop_scorer=False):
+    """Rewrite a store's version field (and optionally strip the v3
+    'scorer' header key), space-padding the JSON so every absolute
+    section offset stays valid."""
+    raw = bytearray(path.read_bytes())
+    hlen = int.from_bytes(raw[16:24], "little")
+    header = json.loads(raw[24 : 24 + hlen].decode("utf-8"))
+    header["format_version"] = version
+    if drop_scorer:
+        header.pop("scorer", None)
+    blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    assert len(blob) <= hlen
+    raw[8:12] = int(version).to_bytes(4, "little")
+    raw[24 : 24 + hlen] = blob + b" " * (hlen - len(blob))
+    path.write_bytes(bytes(raw))
+
+
+class TestVersionCompat:
+    @pytest.fixture
+    def v2_store(self, tmp_path, cluster_and_outlier):
+        # A genuine pre-registry file: no scorer header key, no
+        # score@/aux@ sections — only the classic lrd@/lof@ caches.
+        X = cluster_and_outlier
+        mat = materialize(X, 8)
+        mat.lof(5)
+        path = tmp_path / "old.rlof"
+        save_model(path, mat, X=X)
+        _patch_version(path, 2, drop_scorer=True)
+        return path, mat
+
+    def test_v2_store_loads_as_lof(self, v2_store):
+        path, mat = v2_store
+        header = read_header(path)
+        assert header["format_version"] == 2 and "scorer" not in header
+        model = load_model(path)
+        assert model.scorer == "lof"
+        assert np.array_equal(model.mat.lof(5), mat.lof(5))
+        assert np.array_equal(model.mat.scores(5, scorer="lof"), mat.lof(5))
+
+    def test_v2_store_serves_online(self, v2_store):
+        path, mat = v2_store
+        sc = OnlineScorer.from_path(path)
+        assert sc.scorer_name == "lof"
+        got = sc.score_new(sc.X, min_pts=5, exclude=np.arange(len(sc.X)))
+        assert np.array_equal(got, mat.lof(5))
+
+    def test_future_version_rejected(self, tmp_path, cluster_and_outlier):
+        mat = materialize(cluster_and_outlier, 8)
+        path = tmp_path / "future.rlof"
+        save_model(path, mat)
+        _patch_version(path, 4)
+        with pytest.raises(StoreVersionError, match="version 4"):
+            load_model(path)

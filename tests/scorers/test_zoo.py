@@ -1,0 +1,149 @@
+"""Every registered scorer over paper datasets, tie-heavy and
+duplicate-heavy data, under all three duplicate modes.
+
+The invariants pinned here:
+
+* routing LOF through the registry is bit-identical to the classic
+  ``MaterializationDB.lof`` path (acceptance criterion of the registry
+  refactor);
+* ``knn_dist`` is exactly the Definition-3 k-distance column;
+* every scorer is deterministic across fresh materializations;
+* the duplicate conventions mirror LOF's (remark after Definition 6)
+  in all three modes;
+* LOF and the cousins (LDOF, LoOP) broadly agree on *which* points are
+  the outliers of the multi-density gallery scene even though their
+  scales differ — the family-resemblance claim of the registry.
+"""
+
+import numpy as np
+import pytest
+
+from repro import materialize
+from repro.datasets.gallery import make_two_densities, outlier_labels
+from repro.datasets.paper import make_ds1, make_fig9_dataset
+from repro.exceptions import DuplicatePointsError, ValidationError
+
+ALL_SCORERS = ("knn_dist", "ldof", "lof", "loop")
+
+
+def zoo_scores(X, k, name, duplicate_mode="inf", min_pts_ub=None):
+    mat = materialize(X, min_pts_ub or k, duplicate_mode=duplicate_mode)
+    return mat.scores(k, scorer=name, X=X, metric="euclidean")
+
+
+class TestShapesAndRanges:
+    @pytest.mark.parametrize("name", ALL_SCORERS)
+    @pytest.mark.parametrize("maker", [make_ds1, make_fig9_dataset])
+    def test_paper_datasets(self, name, maker):
+        X = maker().X
+        scores = zoo_scores(X, 10, name)
+        assert scores.shape == (len(X),)
+        assert scores.dtype == np.float64
+        assert np.all(np.isfinite(scores))
+        if name == "loop":
+            assert np.all((0.0 <= scores) & (scores <= 1.0))
+        else:
+            assert np.all(scores >= 0.0)
+
+    @pytest.mark.parametrize("name", ALL_SCORERS)
+    def test_tie_ring_definition_4(self, name, tie_ring):
+        # |N_4(origin)| = 6: every scorer must run on tie-inflated rows.
+        scores = zoo_scores(tie_ring, 4, name)
+        assert scores.shape == (7,)
+        assert np.all(np.isfinite(scores))
+
+    def test_knn_dist_on_tie_ring_is_the_k_distance(self, tie_ring):
+        # From the origin: 1 object at distance 1, 2 at 2, 3 at 3 — the
+        # 4-distance is 3.0 by Definition 3.
+        assert zoo_scores(tie_ring, 4, "knn_dist")[0] == 3.0
+
+    @pytest.mark.parametrize("name", ALL_SCORERS)
+    def test_gross_outlier_ranks_first(self, name, cluster_and_outlier):
+        scores = zoo_scores(cluster_and_outlier, 5, name)
+        assert int(np.argmax(scores)) == 30
+
+
+class TestRegistryEquivalences:
+    def test_lof_through_registry_bit_identical(self, two_density_clusters):
+        mat = materialize(two_density_clusters, 10)
+        for k in (4, 7, 10):
+            assert np.array_equal(mat.scores(k, scorer="lof"), mat.lof(k))
+
+    def test_knn_dist_is_the_k_distance_column(self, two_density_clusters):
+        mat = materialize(two_density_clusters, 10)
+        for k in (4, 10):
+            assert np.array_equal(
+                mat.scores(k, scorer="knn_dist"), mat.k_distances(k)
+            )
+
+    def test_ldof_requires_the_snapshot(self, two_density_clusters):
+        mat = materialize(two_density_clusters, 10)
+        with pytest.raises(ValidationError, match="'ldof'.*snapshot"):
+            mat.scores(5, scorer="ldof")
+
+    @pytest.mark.parametrize("name", ALL_SCORERS)
+    def test_deterministic_across_fresh_materializations(
+        self, name, two_density_clusters
+    ):
+        X = two_density_clusters
+        a = zoo_scores(X, 6, name)
+        b = zoo_scores(X, 6, name)
+        assert np.array_equal(a, b)
+
+
+class TestDuplicateModes:
+    def test_mode_inf_conventions(self, dup_heavy):
+        # A point co-located with its co-located neighbors is ordinary:
+        # LOF's inf/inf := 1, LDOF's 0/0 := 1, LoOP probability 0 and
+        # a zero k-distance.
+        want = {"lof": 1.0, "ldof": 1.0, "loop": 0.0, "knn_dist": 0.0}
+        for name, value in want.items():
+            scores = zoo_scores(dup_heavy, 3, name, duplicate_mode="inf")
+            assert np.array_equal(scores[:5], np.full(5, value)), name
+            assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("name", ALL_SCORERS)
+    def test_mode_distinct_is_finite_everywhere(self, name, dup_heavy):
+        scores = zoo_scores(dup_heavy, 3, name, duplicate_mode="distinct")
+        assert np.all(np.isfinite(scores))
+        if name == "knn_dist":
+            # k-distinct-distance: never zero once duplicates collapse.
+            assert np.all(scores > 0.0)
+
+    @pytest.mark.parametrize("name", ("lof", "ldof", "loop"))
+    def test_mode_error_raises_on_duplicates(self, name, dup_heavy):
+        with pytest.raises(DuplicatePointsError):
+            zoo_scores(dup_heavy, 3, name, duplicate_mode="error")
+
+    def test_mode_error_knn_dist_is_defined(self, dup_heavy):
+        # D^k = 0 is a perfectly defined distance — only the density
+        # ratios are undefined on duplicates.
+        scores = zoo_scores(dup_heavy, 3, "knn_dist", duplicate_mode="error")
+        assert np.array_equal(scores[:5], np.zeros(5))
+
+    @pytest.mark.parametrize("name", ALL_SCORERS)
+    @pytest.mark.parametrize("mode", ("inf", "distinct"))
+    def test_clean_data_is_mode_independent_shape(self, name, mode, tie_ring):
+        scores = zoo_scores(tie_ring, 3, name, duplicate_mode=mode)
+        assert scores.shape == (7,) and np.all(np.isfinite(scores))
+
+
+class TestFamilyResemblance:
+    def test_lof_ldof_loop_agree_on_gallery_outliers(self):
+        # The multi-density scene of Section 3 (o2 and friends): the
+        # three local notions need not agree on scale, but their top-n
+        # sets must substantially overlap — and catch the ground truth.
+        ds = make_two_densities()
+        truth = set(np.flatnonzero(outlier_labels(ds)))
+        n = len(truth)
+        mat = materialize(ds.X, 15)
+        tops = {
+            name: set(
+                np.argsort(mat.scores(15, scorer=name, X=ds.X, metric="euclidean"))[-n:]
+            )
+            for name in ("lof", "ldof", "loop")
+        }
+        assert len(tops["lof"] & tops["ldof"]) >= 3
+        assert len(tops["lof"] & tops["loop"]) >= 3
+        for name, top in tops.items():
+            assert len(top & truth) >= 3, name
