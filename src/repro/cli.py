@@ -188,6 +188,21 @@ def _cmd_serve(args) -> int:
     from .serve import run_fleet, run_server
 
     batch_window_ms = None if args.no_batch else args.batch_window_ms
+    stream = None
+    if args.stream:
+        stream = {
+            "check_every": args.stream_check_every,
+            "drift_quantile": args.stream_drift_quantile,
+            "drift_factor": args.stream_drift_factor,
+            "reservoir": args.stream_reservoir,
+            "seed": args.stream_seed,
+        }
+        if args.stream_window is not None:
+            stream["window"] = args.stream_window
+        if args.stream_cooldown is not None:
+            stream["cooldown"] = args.stream_cooldown
+        if args.stream_dir is not None:
+            stream["store_dir"] = args.stream_dir
     if args.workers > 1:
         return run_fleet(
             args.store,
@@ -200,6 +215,7 @@ def _cmd_serve(args) -> int:
             max_batch=args.max_batch,
             max_queue=args.max_queue,
             scorer=args.scorer,
+            stream=stream,
         )
     return run_server(
         args.store,
@@ -212,6 +228,7 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_queue=args.max_queue,
         scorer=args.scorer,
+        stream=stream,
     )
 
 
@@ -440,6 +457,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scorer_option(
         p_serve,
         " (service default; per-request \"scorer\" still overrides)",
+    )
+    p_serve.add_argument(
+        "--stream", action="store_true",
+        help="turn on the online lifecycle: ingest every scored point "
+             "into a sliding window, detect score drift, refit in the "
+             "background and hot-swap the serving model (requires "
+             "--workers 1; see docs/streaming.md)",
+    )
+    p_serve.add_argument(
+        "--stream-window", type=int, default=None, metavar="N",
+        help="sliding-window capacity (default: 4x the store's MinPts "
+             "upper bound, at least 64)",
+    )
+    p_serve.add_argument(
+        "--stream-check-every", type=int, default=32, metavar="N",
+        help="run a drift check every N ingested points (default: 32)",
+    )
+    p_serve.add_argument(
+        "--stream-drift-quantile", type=float, default=0.9, metavar="Q",
+        help="score quantile compared between recent and reference "
+             "samples (default: 0.9)",
+    )
+    p_serve.add_argument(
+        "--stream-drift-factor", type=float, default=2.0, metavar="F",
+        help="declare drift when Q_q(recent) > F * Q_q(reference) "
+             "(default: 2.0)",
+    )
+    p_serve.add_argument(
+        "--stream-cooldown", type=int, default=None, metavar="N",
+        help="minimum ingests between refits (default: the window size)",
+    )
+    p_serve.add_argument(
+        "--stream-reservoir", type=int, default=64, metavar="N",
+        help="reference reservoir-sample capacity (default: 64)",
+    )
+    p_serve.add_argument(
+        "--stream-seed", type=int, default=0, metavar="SEED",
+        help="reservoir sampler seed; replays are deterministic for a "
+             "fixed seed (default: 0)",
+    )
+    p_serve.add_argument(
+        "--stream-dir", default=None, metavar="DIR",
+        help="directory refit stores are written to (default: the "
+             "served store's directory)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -46,7 +46,7 @@ from .estimator import LocalOutlierFactor
 from .graph import DynamicNeighborhoodGraph, NeighborhoodGraph, NeighborhoodView
 from .handshake import HandshakeResult, lof_optics_handshake
 from .incremental import IncrementalLOF, UpdateReport
-from .streaming import StreamEvent, StreamingLOFDetector
+from .streaming import SlidingWindowLOF, StreamEvent, StreamingLOFDetector
 from .topn import TopNResult, top_n_lof
 from .lof import lof_scores
 from .lrd import local_reachability_density
@@ -81,6 +81,7 @@ __all__ = [
     "lof_optics_handshake",
     "IncrementalLOF",
     "UpdateReport",
+    "SlidingWindowLOF",
     "StreamEvent",
     "StreamingLOFDetector",
     "TopNResult",

@@ -186,15 +186,18 @@ class LocalOutlierFactor:
 
     # -- persistence (repro.store) ------------------------------------------
 
-    def save(self, path):
+    def save(self, path, lineage=None):
         """Persist the fitted model — neighborhood graph, per-MinPts
         caches, LOF matrix/scores, dataset snapshot and metadata — via
-        :func:`repro.store.save_model`. The saved file can be reloaded
-        with :meth:`load` or served online by :mod:`repro.serve`."""
+        :func:`repro.store.save_model`. ``lineage`` is an optional
+        provenance block recorded in the store header (the streaming
+        refit path stamps the parent fingerprint there). The saved file
+        can be reloaded with :meth:`load` or served online by
+        :mod:`repro.serve`."""
         from ..store import save_model
 
         self._require_fitted()
-        return save_model(path, self)
+        return save_model(path, self, lineage=lineage)
 
     @classmethod
     def load(cls, path, mmap: bool = False, verify: bool = True) -> "LocalOutlierFactor":

@@ -24,8 +24,14 @@ tracked :class:`UpdateReport` lets tests and benchmarks verify the
 update stays local.
 
 Ties are honored the same way as the batch path (Definition 4, via the
-shared :func:`repro.index.batch.tie_inclusive_row` selection), and the
-duplicate convention is the batch ``'inf'`` mode.
+shared :func:`repro.index.batch.tie_inclusive_row` selection), and all
+three batch duplicate conventions are supported: ``'inf'`` (the paper's
+plain definition), ``'distinct'`` (neighborhoods grown to the
+k-distinct-distance, maintained via exact-coordinate group keys so
+radii match :meth:`MaterializationDB.k_distances` bit-for-bit) and
+``'error'`` (an update that would produce an infinite lrd raises
+:class:`~repro.exceptions.DuplicatePointsError`; the engine state is
+then stale and must be discarded).
 """
 
 from __future__ import annotations
@@ -59,36 +65,58 @@ class IncrementalLOF:
     ----------
     min_pts : the MinPts parameter (fixed for the stream's lifetime).
     metric : distance metric name or instance.
+    duplicate_mode : the batch duplicate policy ('inf', 'distinct' or
+        'error'); under 'distinct' neighborhoods are grown to the
+        k-distinct-distance exactly as the materialization does.
 
     Point handles returned by :meth:`insert` are stable integer keys;
     :attr:`scores` maps handle -> current LOF.
     """
 
-    def __init__(self, min_pts: int, metric="euclidean"):
+    def __init__(self, min_pts: int, metric="euclidean", duplicate_mode: str = "inf"):
+        from .materialization import _check_duplicate_mode
+
         if min_pts < 1:
             raise ValidationError(f"min_pts must be >= 1, got {min_pts}")
         self.min_pts = int(min_pts)
         self.metric = get_metric(metric)
+        self.duplicate_mode = _check_duplicate_mode(duplicate_mode)
         self._points: Dict[int, np.ndarray] = {}
         self._next_handle = 0
         self._graph = DynamicNeighborhoodGraph(self.min_pts)
         self._lrd = np.full(0, np.nan, dtype=np.float64)  # dense, by handle
         self._lof: Dict[int, float] = {}
         self._reverse: Dict[int, Set[int]] = {}           # handle -> who lists it
+        # Exact-coordinate group keys for the 'distinct' policy: the same
+        # grouping np.unique(X, axis=0) induces batch-side, maintained as
+        # a dict over normalized coordinate bytes (+0.0 folds -0.0 so
+        # signed zeros land in one group, matching numpy equality).
+        self._coord_key: Dict[int, int] = {}              # handle -> group key
+        self._key_by_coord: Dict[bytes, int] = {}
 
     # -- bulk ---------------------------------------------------------------
 
     @classmethod
-    def from_dataset(cls, X, min_pts: int, metric="euclidean") -> "IncrementalLOF":
+    def from_dataset(
+        cls, X, min_pts: int, metric="euclidean", duplicate_mode: str = "inf"
+    ) -> "IncrementalLOF":
         """Build the maintained state for an initial dataset."""
         X = check_data(X, min_rows=2)
         check_min_pts(min_pts, X.shape[0])
-        inc = cls(min_pts, metric=metric)
+        inc = cls(min_pts, metric=metric, duplicate_mode=duplicate_mode)
         for row in X:
-            inc._points[inc._next_handle] = row.copy()
+            h = inc._next_handle
+            inc._points[h] = row.copy()
+            inc._register_coord(h, row)
             inc._next_handle += 1
         inc._rebuild_all()
         return inc
+
+    def _register_coord(self, handle: int, point: np.ndarray) -> None:
+        coord = np.asarray(point, dtype=np.float64) + 0.0
+        self._coord_key[handle] = self._key_by_coord.setdefault(
+            coord.tobytes(), len(self._key_by_coord)
+        )
 
     def _rebuild_all(self) -> None:
         handles = list(self._points)
@@ -146,7 +174,10 @@ class IncrementalLOF:
         # Shared Definition-4 selection: closed k-distance ball, ties
         # included, deterministic (distance, id) order. Positional order
         # equals handle order because ``handles`` is sorted.
-        members, kth = tie_inclusive_row(dists, self.min_pts)
+        if self.duplicate_mode == "distinct":
+            members, kth = self._distinct_row(handles, dists)
+        else:
+            members, kth = tie_inclusive_row(dists, self.min_pts)
         old_ids = self._graph.row(h)[0] if h in self._graph else ()
         for o in old_ids:
             self._reverse.get(int(o), set()).discard(h)
@@ -154,6 +185,33 @@ class IncrementalLOF:
         self._graph.set_row(h, neighbor_handles, dists[members], kth)
         for o in neighbor_handles:
             self._reverse.setdefault(int(o), set()).add(h)
+
+    def _distinct_row(self, handles, dists):
+        """The k-distinct-distance neighborhood row (closed ball at the
+        smallest radius covering ``min_pts`` distinct coordinate
+        locations, duplicates of the query inside it included) — the
+        same walk :meth:`MaterializationDB._distinct_k_distances` does
+        over stored rows, so radii and membership match bit-for-bit."""
+        order = np.argsort(dists, kind="stable")
+        seen: Set[int] = set()
+        kth = None
+        for j in order:
+            d = dists[j]
+            if d <= 0.0 or not np.isfinite(d):
+                continue
+            key = self._coord_key[handles[j]]
+            if key not in seen:
+                seen.add(key)
+                if len(seen) == self.min_pts:
+                    kth = float(d)
+                    break
+        if kth is None:
+            raise ValidationError(
+                f"fewer than k={self.min_pts} distinct coordinate "
+                "locations exist among the maintained points"
+            )
+        members = order[dists[order] <= kth]
+        return members, kth
 
     def _ensure_lrd_capacity(self, max_handle: int) -> None:
         if max_handle >= len(self._lrd):
@@ -166,7 +224,9 @@ class IncrementalLOF:
         rows = np.array(sorted(dirty), dtype=np.int64)
         if len(rows):
             self._ensure_lrd_capacity(int(rows.max()))
-            self._lrd[rows] = scoring.lrd_of(self._graph, rows)
+            self._lrd[rows] = scoring.lrd_of(
+                self._graph, rows, duplicate_mode=self.duplicate_mode
+            )
         return rows
 
     def _refresh_lof(self, dirty) -> np.ndarray:
@@ -195,6 +255,7 @@ class IncrementalLOF:
         h = self._next_handle
         self._next_handle += 1
         self._points[h] = point
+        self._register_coord(h, point)
         self._reverse.setdefault(h, set())
         if len(self._points) == self.min_pts + 1:
             # First moment LOF becomes defined: full build, all points new.
@@ -238,6 +299,7 @@ class IncrementalLOF:
             self._lrd[handle] = np.nan
         self._lof.pop(handle, None)
         self._reverse.pop(handle, None)
+        self._coord_key.pop(handle, None)
         if len(self._points) <= self.min_pts:
             self._rebuild_all()
             self.last_report = UpdateReport(0, 0, 0)

@@ -8,7 +8,9 @@
 * :mod:`~repro.datasets.soccer` — the Bundesliga 98/99 stand-in
   (Section 7.3 / Table 3);
 * :mod:`~repro.datasets.histograms` — 64-d TV-snapshot histograms;
-* :mod:`~repro.datasets.perf` — figure 10/11 performance mixtures.
+* :mod:`~repro.datasets.perf` — figure 10/11 performance mixtures;
+* :mod:`~repro.datasets.streams` — drifting streams for the online
+  lifecycle (drift detection → background refit → hot-swap).
 """
 
 from .clusters import LabeledDataset, assemble, gaussian_cluster, uniform_cluster
@@ -37,6 +39,7 @@ from .paper import (
     make_uniform_square,
 )
 from .perf import make_performance_dataset
+from .streams import DriftingStream, make_drifting_stream
 from .transforms import FittedTransform, min_max_scale, standardize
 from .soccer import (
     PLANTED_PLAYERS as SOCCER_PLANTED_PLAYERS,
@@ -69,6 +72,8 @@ __all__ = [
     "make_gaussian_cloud",
     "make_uniform_square",
     "make_performance_dataset",
+    "DriftingStream",
+    "make_drifting_stream",
     "FittedTransform",
     "min_max_scale",
     "standardize",

@@ -36,6 +36,14 @@ COUNTERS = (
     'serve.workers',
     'store.loads',
     'store.saves',
+    'stream.drift.checks',
+    'stream.drift.detected',
+    'stream.ingest.errors',
+    'stream.ingested',
+    'stream.refits',
+    'stream.swaps',
+    'stream.window.evictions',
+    'stream.window.inserts',
 )
 
 SPANS = (

@@ -883,6 +883,10 @@ class _ModelHTTPServer(ThreadingHTTPServer):
                 max_batch=max_batch,
                 max_queue=max_queue,
             )
+        # The online lifecycle (repro.stream.StreamingDetector), attached
+        # by make_server when --stream is on: /score feeds served points
+        # back into it, and its refits hot-swap through reload_store.
+        self.stream = None
 
     # -- request accounting ---------------------------------------------------
 
@@ -967,11 +971,16 @@ class _ModelHTTPServer(ThreadingHTTPServer):
             "rss_kb": rss_kb,
             "batcher": None if self.batcher is None else self.batcher.stats(),
         }
+        payload["stream"] = None if self.stream is None else self.stream.stats()
         return payload
 
     def server_close(self) -> None:
         if self.batcher is not None:
             self.batcher.close()
+        if self.stream is not None:
+            # Let an in-flight background refit land its swap so the
+            # lineage chain on disk is complete at shutdown.
+            self.stream.wait_refit(timeout=10.0)
         super().server_close()
 
 
@@ -1070,6 +1079,12 @@ class _Handler(BaseHTTPRequestHandler):
         except (ReproError, TypeError, ValueError) as exc:
             self._reply(400, {"error": str(exc)})
             return
+        stream = self.server.stream
+        if stream is not None:
+            # Ingest before the reply: a caller that saw the 200 knows
+            # its points entered the lifecycle (exact counters for the
+            # replay wall; a drift-triggered refit runs off-thread).
+            self._stream_ingest(stream, request["points"], scores)
         ks = [min_pts] if min_pts is not None else list(scorer.min_pts_grid)
         self._reply(
             200,
@@ -1081,6 +1096,20 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
         self.server.note_scored()
+
+    def _stream_ingest(self, stream, points, scores) -> None:
+        """Feed just-scored points into the online lifecycle. The reply
+        path already validated and scored them, so failures here (e.g.
+        distinct-mode coverage in a tiny window) must never turn a
+        successful scoring into an error response."""
+        try:
+            pts = np.asarray(points, dtype=np.float64)
+            if pts.ndim == 1:
+                pts = pts[None, :]
+            for row, value in zip(pts, scores):
+                stream.observe(row, score=float(value))
+        except ReproError:
+            obs.incr("stream.ingest.errors")
 
     def _handle_reload(self) -> None:
         try:
@@ -1131,16 +1160,26 @@ def make_server(
     worker_index: int = 0,
     workers: int = 1,
     scorer=None,
+    stream: Optional[Dict] = None,
 ) -> _ModelHTTPServer:
     """Build (but do not start) the scoring server; ``port=0`` binds an
     ephemeral port, readable from ``server.server_address``.
     ``batch_window_ms=None`` disables request coalescing (each request
     scores by itself, the pre-fleet behavior). ``scorer`` overrides the
-    store's fitted scorer as the service default."""
+    store's fitted scorer as the service default.
+
+    ``stream``, when given (a dict, possibly empty), attaches a
+    :class:`repro.stream.StreamingDetector` wired to this server: every
+    scored ``/score`` point is ingested into its sliding window, drift
+    triggers a background refit, and each refit hot-swaps the serving
+    model through :meth:`_ModelHTTPServer.reload_store`. Dict keys
+    override the detector's constructor arguments; the model recipe
+    (scorer, duplicate mode, metric, aggregate, MinPts grid) defaults
+    to the store's own."""
     scorer = OnlineScorer.from_path(
         store_path, mmap=mmap, cache_size=cache_size, scorer=scorer
     )
-    return _ModelHTTPServer(
+    server = _ModelHTTPServer(
         (host, port),
         scorer,
         max_requests=max_requests,
@@ -1150,6 +1189,41 @@ def make_server(
         max_queue=max_queue,
         worker_index=worker_index,
         workers=workers,
+    )
+    if stream is not None:
+        server.stream = _make_stream(server, store_path, stream)
+    return server
+
+
+def _make_stream(server: _ModelHTTPServer, store_path, options: Dict):
+    """Build the serve-attached :class:`StreamingDetector`: recipe from
+    the loaded store, swap wired to ``reload_store``, refits on a
+    background thread (overridable via ``options``)."""
+    # Local import: repro.stream sits above repro.serve in the layer
+    # diagram and imports OnlineScorer from here.
+    from .stream import StreamingDetector
+
+    opts = dict(options)
+    online = server.scorer
+    grid = [int(k) for k in online.min_pts_grid]
+    min_pts = int(opts.pop("min_pts", max(grid)))
+    window = int(opts.pop("window", max(4 * min_pts, 64)))
+    store_dir = Path(opts.pop("store_dir", None) or Path(store_path).parent)
+    meta = online.model.estimator or {}
+    opts.setdefault("background", True)
+    return StreamingDetector(
+        min_pts,
+        window,
+        store_dir,
+        scorer=online.scorer_name,
+        duplicate_mode=online.mat.duplicate_mode,
+        metric=online.model.metric_object(),
+        aggregate=online.aggregate,
+        threshold=float(meta.get("threshold", 1.5)),
+        refit_min_pts=(min(grid), max(grid)),
+        initial_store=Path(store_path),
+        swap=server.reload_store,
+        **opts,
     )
 
 
@@ -1178,9 +1252,12 @@ def run_server(
     max_batch: int = 64,
     max_queue: int = 1024,
     scorer=None,
+    stream: Optional[Dict] = None,
 ) -> int:
     """Load a store and serve it over HTTP until interrupted (or until
-    ``max_requests`` scored POSTs; shutdown drains in-flight requests)."""
+    ``max_requests`` scored POSTs; shutdown drains in-flight requests).
+    ``stream`` (see :func:`make_server`) turns on the online lifecycle:
+    ingest → drift detection → background refit → hot-swap."""
     server = make_server(
         store_path,
         host=host,
@@ -1192,6 +1269,7 @@ def run_server(
         max_batch=max_batch,
         max_queue=max_queue,
         scorer=scorer,
+        stream=stream,
     )
     bound_host, bound_port = server.server_address[:2]
     print(
@@ -1201,6 +1279,14 @@ def run_server(
         f"scorer={server.scorer.scorer_name})",
         flush=True,
     )
+    if server.stream is not None:
+        print(
+            f"stream lifecycle on (window={server.stream.window}, "
+            f"check_every={server.stream.check_every}, "
+            f"drift_factor={server.stream.drift_factor}, "
+            f"refits -> {server.stream.store_dir})",
+            flush=True,
+        )
     return _serve_until_done(server)
 
 
@@ -1215,6 +1301,7 @@ def run_fleet(
     max_batch: int = 64,
     max_queue: int = 1024,
     scorer=None,
+    stream: Optional[Dict] = None,
 ) -> int:
     """Serve one store from ``workers`` forked processes on one port.
 
@@ -1225,8 +1312,19 @@ def run_fleet(
     handler state, not the model — and accepts on the shared socket.
     ``max_requests`` applies per worker. Falls back to the in-process
     threaded server when ``workers <= 1`` or ``fork`` is unavailable.
+
+    The ``stream`` lifecycle is per-process state (window, drift
+    counters, refit single-flight), so it only composes with the
+    single-process path: with ``workers > 1`` each fork would refit
+    against the fraction of traffic the kernel happened to hand it.
     """
     workers = int(workers)
+    if stream is not None and workers > 1 and fork_available():
+        raise ValidationError(
+            "--stream requires a single worker: the drift/refit "
+            "lifecycle is per-process and forked workers would each "
+            "see only a slice of the traffic"
+        )
     if workers <= 1 or not fork_available():
         return run_server(
             store_path,
@@ -1239,6 +1337,7 @@ def run_fleet(
             max_batch=max_batch,
             max_queue=max_queue,
             scorer=scorer,
+            stream=stream,
         )
     sock = _make_listening_socket(host, port)
     bound_host, bound_port = sock.getsockname()[:2]

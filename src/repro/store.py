@@ -154,6 +154,19 @@ class StoredModel:
             return MinkowskiMetric(p=self.metric_p if self.metric_p else 2.0)
         return get_metric(self.metric)
 
+    @property
+    def lineage(self) -> Optional[Dict]:
+        """The refit-lineage block (parent fingerprint, trigger reason,
+        stream position) stamped by the streaming lifecycle, or None for
+        stores written outside it."""
+        return self.header.get("lineage")
+
+    @property
+    def fingerprint(self) -> str:
+        """The content identity of this store version (see
+        :func:`store_fingerprint`)."""
+        return store_fingerprint(self.header)
+
 
 # ---------------------------------------------------------------------------
 # writing
@@ -186,6 +199,7 @@ def save_model(
     X=None,
     metric="euclidean",
     scorer="lof",
+    lineage: Optional[Dict] = None,
 ) -> Path:
     """Persist a fitted model to ``path`` in the format above.
 
@@ -193,8 +207,11 @@ def save_model(
     MaterializationDB` or a fitted :class:`~repro.core.estimator.
     LocalOutlierFactor` (which brings its own snapshot, metric, grid,
     scorer and obs profile — ``X``/``metric``/``scorer`` are then taken
-    from the estimator and must not be passed). Returns the path
-    written.
+    from the estimator and must not be passed). ``lineage`` is an
+    optional JSON-serializable provenance block recorded in the header
+    (the streaming lifecycle stamps the parent store's fingerprint,
+    trigger reason and stream position there — an optional header key,
+    no version bump). Returns the path written.
     """
     from .core.estimator import LocalOutlierFactor
     from .core.materialization import MaterializationDB
@@ -205,9 +222,11 @@ def save_model(
             raise ValidationError(
                 "X is taken from the fitted estimator; do not pass it"
             )
-        return _save_estimator(path, model)
+        return _save_estimator(path, model, lineage=lineage)
     if isinstance(model, MaterializationDB):
-        return _save_materialization(path, model, X=X, metric=metric, scorer=scorer)
+        return _save_materialization(
+            path, model, X=X, metric=metric, scorer=scorer, lineage=lineage
+        )
     raise ValidationError(
         "save_model accepts a MaterializationDB or a fitted "
         f"LocalOutlierFactor, got {type(model).__name__}"
@@ -243,7 +262,9 @@ def _section_dtype(name: str) -> str:
     return "<i8" if name in ("padded_ids", "coord_keys", "min_pts_values") else "<f8"
 
 
-def _save_materialization(path: Path, mat, X=None, metric="euclidean", scorer="lof") -> Path:
+def _save_materialization(
+    path: Path, mat, X=None, metric="euclidean", scorer="lof", lineage=None
+) -> Path:
     from .scorers import get_scorer
 
     if X is not None:
@@ -266,10 +287,12 @@ def _save_materialization(path: Path, mat, X=None, metric="euclidean", scorer="l
         "metric": _metric_identity(metric),
         "scorer": get_scorer(scorer).name,
     }
+    if lineage is not None:
+        header["lineage"] = lineage
     return _write(path, header, _mat_sections(mat, X))
 
 
-def _save_estimator(path: Path, est) -> Path:
+def _save_estimator(path: Path, est, lineage=None) -> Path:
     result = est._require_fitted()
     mat = est.materialization_
     X = getattr(est, "X_", None)
@@ -296,6 +319,8 @@ def _save_estimator(path: Path, est) -> Path:
         },
         "obs_snapshot": est.profile_,
     }
+    if lineage is not None:
+        header["lineage"] = lineage
     sections = _mat_sections(mat, X)
     sections["lof_matrix"] = result.lof_matrix
     sections["scores"] = result.scores

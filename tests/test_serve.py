@@ -615,6 +615,114 @@ class TestHotSwapStress:
         assert obs.counter("serve.batch.requests") == len(requests)
         assert obs.counter("serve.reloads") == n_reloads
 
+    def test_stream_refit_reloads_race_scores_with_exact_counters(
+        self, fitted_store, tmp_path
+    ):
+        """The streaming lifecycle under concurrent /score traffic:
+        drift-triggered background refits hot-swap the model mid-hammer,
+        single-flight is preserved, the drift counters are exact (every
+        ingest is one check, every post-seeding check detects at
+        drift_factor=0), and every response is bit-identical to serial
+        scoring under one of the model generations that served."""
+        path, _ = fitted_store
+        reservoir, window, cooldown = 4, 16, 8
+        srv = make_server(
+            path,
+            port=0,
+            batch_window_ms=None,
+            stream={
+                "window": window,
+                "check_every": 1,
+                "drift_factor": 0.0,
+                "cooldown": cooldown,
+                "reservoir": reservoir,
+                "seed": 0,
+                "store_dir": tmp_path / "refits",
+            },
+        )
+        thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        thread.start()
+        port = srv.server_address[1]
+        rng = np.random.default_rng(44)
+        n_threads, rounds = 4, 8
+        points = rng.uniform(0.0, 40.0, size=(n_threads * rounds, 2))
+
+        obs.enable()
+        obs.reset()
+        results = [None] * len(points)
+        errors = []
+
+        def hammer(tid):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+            try:
+                for j in range(tid * rounds, (tid + 1) * rounds):
+                    conn.request(
+                        "POST", "/score",
+                        body=json.dumps({"points": [points[j].tolist()]}),
+                    )
+                    resp = conn.getresponse()
+                    payload = json.loads(resp.read())
+                    if resp.status != 200:
+                        raise AssertionError(payload)
+                    results[j] = payload["scores"]
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stream = srv.stream
+        assert stream.wait_refit(timeout=120.0)
+        srv.shutdown()
+        assert srv.wait_drained(timeout=10.0)
+        assert not errors
+        n = len(points)
+        refits = len(stream.refits)
+        # Single-flight: one refit at a time, each separated by at least
+        # `cooldown` ingests, so the count is bounded and at least one
+        # fired once the window exceeded the store's MinPts upper bound.
+        assert 1 <= refits <= n // cooldown
+        assert stream.stats()["refit_active"] is False
+        # Exact drift accounting under any interleaving: observe() is
+        # serialized by the detector lock, every request carries its
+        # served score, check_every=1 => one check per ingest, and the
+        # first check seeds the reference instead of voting.
+        assert obs.counter("stream.ingested") == n
+        assert obs.counter("stream.window.inserts") == n
+        assert obs.counter("stream.window.evictions") == n - window
+        assert obs.counter("stream.drift.checks") == n
+        assert obs.counter("stream.drift.detected") == n - 1
+        assert obs.counter("stream.ingest.errors") == 0
+        assert obs.counter("stream.refits") == refits
+        assert obs.counter("stream.swaps") == refits
+        assert obs.counter("serve.reloads") == refits
+        # Every client point is scored exactly once, plus the detector's
+        # internal reference passes: 1 seeding point, `reservoir` points
+        # per swap install.
+        assert obs.counter("serve.points_scored") == n + 1 + reservoir * refits
+        srv.server_close()
+        # Bit-identity across generations: each response equals serial
+        # scoring under one of the stores that served during the race.
+        recs = stream.refits
+        gens = [OnlineScorer.from_path(p) for p in [path] + [r.path for r in recs]]
+        for got, q in zip(results, points):
+            wants = [
+                [float(s) for s in g.score_new(q[None, :], use_cache=False)]
+                for g in gens
+            ]
+            assert got in wants
+        # The lineage chain survives concurrency: each refit's parent is
+        # the fingerprint it actually replaced.
+        assert recs[0].parent == store_fingerprint(load_model(path).header)
+        for prev, cur in zip(recs, recs[1:]):
+            assert cur.parent == prev.fingerprint
+
 
 class TestDrainOnShutdown:
     def test_max_requests_drains_concurrent_inflight(self, fitted_store):
