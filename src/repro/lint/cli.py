@@ -40,8 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src tests)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits SARIF 2.1.0 "
+             "for code-scanning upload",
     )
     parser.add_argument(
         "--output", metavar="PATH", default=None,
@@ -60,6 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule IDs to skip",
     )
     parser.add_argument(
+        "--explain", metavar="IDS", default=None,
+        help="comma-separated rule IDs whose findings get their full "
+             "witness path printed (thread entry -> call chain -> "
+             "offending site); text format only",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="run per-file rules only on files modified per git "
+             "(staged, unstaged, untracked); project-level rules still "
+             "analyze the whole tree",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -75,6 +88,49 @@ def _split(blob: Optional[str]) -> Optional[List[str]]:
     if blob is None:
         return None
     return [part.strip() for part in blob.split(",") if part.strip()]
+
+
+def changed_files(root: Path) -> Optional[set]:
+    """Rel paths of .py files git considers changed: staged, unstaged,
+    and untracked. None when git is unavailable (not a repo, no
+    binary) — the caller falls back to a full run."""
+    import subprocess
+
+    out: set = set()
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "diff", "--name-only", "--cached"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    for cmd in commands:
+        try:
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        out.update(
+            line.strip() for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return out
+
+
+def _render_text(report, explain_ids) -> str:
+    """Text report, with witness blocks appended for --explain rules."""
+    text = report.to_text()
+    if not explain_ids:
+        return text
+    blocks = []
+    for finding in report.findings:
+        if finding.rule in explain_ids and finding.witness:
+            blocks.append(f"\n{finding.format()}")
+            blocks.append(finding.format_witness())
+    if blocks:
+        text += "\n" + "\n".join(blocks)
+    return text
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -109,12 +165,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    report = lint_paths(args.paths, root=root, rules=rules)
-    if report.files_checked == 0:
+    restrict = None
+    if args.changed:
+        restrict = changed_files(root)
+        if restrict is None:
+            print(
+                "warning: git unavailable, --changed falls back to a "
+                "full run",
+                file=sys.stderr,
+            )
+
+    report = lint_paths(args.paths, root=root, rules=rules, restrict=restrict)
+    if report.files_checked == 0 and restrict is None:
         print(f"error: no python files found under {args.paths}", file=sys.stderr)
         return EXIT_USAGE
 
-    payload = report.to_json() if args.format == "json" else report.to_text()
+    if args.format == "json":
+        payload = report.to_json()
+    elif args.format == "sarif":
+        payload = report.to_sarif()
+    else:
+        payload = _render_text(report, set(_split(args.explain) or ()))
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(payload + "\n")

@@ -47,25 +47,37 @@ _DISABLE_FILE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Z0-9,\s]+)")
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``witness`` (concurrency rules only) is the interprocedural
+    evidence trail: thread entry, call chain, offending access —
+    rendered by ``repro-lof lint --explain RLxxx``.
+    """
 
     rule: str
     path: str  # project-root-relative posix path
     line: int
     col: int
     message: str
+    witness: tuple = ()
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
+    def format_witness(self) -> str:
+        return "\n".join("    " + step for step in self.witness)
+
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
         }
+        if self.witness:
+            out["witness"] = list(self.witness)
+        return out
 
 
 class FileContext:
@@ -130,10 +142,10 @@ class FileContext:
     def in_tests(self) -> bool:
         return self.rel.startswith("tests/")
 
-    def finding(self, rule_id: str, node, message: str) -> Finding:
+    def finding(self, rule_id: str, node, message: str, witness=()) -> Finding:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
-        return Finding(rule_id, self.rel, line, col, message)
+        return Finding(rule_id, self.rel, line, col, message, tuple(witness))
 
 
 class Project:
@@ -146,12 +158,20 @@ class Project:
             ctx.module: ctx for ctx in self.contexts if ctx.module
         }
         self._by_rel = {ctx.rel: ctx for ctx in self.contexts}
+        self._cache: Dict[str, object] = {}
 
     def module(self, name: str) -> Optional[FileContext]:
         return self._by_module.get(name)
 
     def rel(self, rel: str) -> Optional[FileContext]:
         return self._by_rel.get(rel)
+
+    def cached(self, key: str, build):
+        """Build-once memo for expensive whole-project artifacts (the
+        call graph + lock model are shared by RL009/RL010/RL011)."""
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
 
 
 class Rule:
@@ -203,6 +223,73 @@ class LintReport:
             indent=2,
             sort_keys=True,
         )
+
+    def to_sarif(self) -> str:
+        """SARIF 2.1.0 — the schema GitHub code scanning ingests, so CI
+        findings annotate PR diffs. Columns are 1-based in SARIF."""
+        from .rules import RULES
+
+        rule_meta = []
+        for rule_id in self.rules_run:
+            rule = RULES.get(rule_id)
+            rule_meta.append(
+                {
+                    "id": rule_id,
+                    "name": rule.name if rule else rule_id,
+                    "shortDescription": {
+                        "text": rule.summary if rule else rule_id
+                    },
+                }
+            )
+        results = []
+        for f in self.findings:
+            result = {
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+            if f.witness:
+                result["message"]["text"] += "\n" + "\n".join(f.witness)
+            results.append(result)
+        doc = {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro.lint",
+                            "informationUri": (
+                                "docs/static-analysis.md"
+                            ),
+                            "rules": rule_meta,
+                        }
+                    },
+                    "results": results,
+                    "originalUriBaseIds": {
+                        "SRCROOT": {"uri": "file:///"}
+                    },
+                }
+            ],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
 
 
 # ---------------------------------------------------------------------------
@@ -300,13 +387,30 @@ def _rel_to(path: Path, root: Path) -> str:
 # runners
 
 
-def _run(project: Project, rules: Sequence[Rule]) -> LintReport:
+def _run(
+    project: Project,
+    rules: Sequence[Rule],
+    restrict: Optional[Set[str]] = None,
+) -> LintReport:
+    """Run ``rules`` over ``project``.
+
+    ``restrict`` (for ``--changed``) limits *per-file* checks to the
+    named rel paths; project-level checks (call graph, registry
+    currency, concurrency rules) always see — and may report on — the
+    whole tree, since a change in one file can break an invariant whose
+    witness lives in another.
+    """
     report = LintReport(
-        files_checked=len(project.contexts),
+        files_checked=sum(
+            1 for ctx in project.contexts
+            if restrict is None or ctx.rel in restrict
+        ),
         rules_run=[r.id for r in rules],
     )
     raw: List[Finding] = []
     for ctx in project.contexts:
+        if restrict is not None and ctx.rel not in restrict:
+            continue
         if ctx.syntax_error is not None:
             raw.append(
                 Finding(
@@ -341,8 +445,13 @@ def lint_paths(
     root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
     excludes: Sequence[str] = DEFAULT_EXCLUDES,
+    restrict: Optional[Set[str]] = None,
 ) -> LintReport:
-    """Lint files/directories (relative paths resolve against ``root``)."""
+    """Lint files/directories (relative paths resolve against ``root``).
+
+    ``restrict`` limits per-file rules to those rel paths while
+    project-level rules still analyze everything collected (see
+    :func:`_run`)."""
     from .rules import get_rules
 
     root = find_project_root(root) if root is None else Path(root)
@@ -352,7 +461,9 @@ def lint_paths(
         text = path.read_text()
         contexts.append(FileContext(_rel_to(path, root), text, path=path))
     project = Project(root, contexts)
-    return _run(project, list(rules) if rules is not None else get_rules())
+    return _run(
+        project, list(rules) if rules is not None else get_rules(), restrict
+    )
 
 
 def lint_source(

@@ -10,6 +10,12 @@ RL005     lock-discipline: lock-guarded attributes touched only under lock
 RL006     wall-clock: no time.time/perf_counter in tests (monotonic: slow-only)
 RL007     unseeded-rng: no unseeded/global np.random in src/
 RL008     float-equality: no ``==`` on score-like arrays (use the helpers)
+RL009     inferred-race: lock-guarded attribute reachable from concurrent
+          thread entries with an empty held-set on some path; holds-lock
+          annotations are verified against every resolved caller
+RL010     lock-order-cycle: acquired-while-holding cycles (deadlock)
+RL011     blocking-under-hot-lock: join/wait/subprocess while holding a
+          lock the HTTP serving path contends on
 ========  ===================================================================
 
 Each rule is a :class:`~repro.lint.engine.Rule` subclass; the module
@@ -808,6 +814,311 @@ class FloatEqualityRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# RL009-RL011 — interprocedural concurrency rules
+#
+# All three share one ConcurrencyModel (call graph + lock-set dataflow,
+# built once per run via Project.cached). See lint/callgraph.py and
+# lint/locks.py for the model, docs/static-analysis.md for the catalog
+# entries and the unsoundness limits.
+
+
+def _concurrency_model(project: Project):
+    from .locks import ConcurrencyModel
+
+    return ConcurrencyModel.for_project(project)
+
+
+def _top_level_classes(ctx: FileContext):
+    if ctx.tree is None:
+        return
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def _class_qualname(ctx: FileContext, cls: ast.ClassDef) -> str:
+    from .callgraph import _pseudo_module
+
+    module = ctx.module or _pseudo_module(ctx.rel)
+    return f"{module}.{cls.name}"
+
+
+class InferredRaceRule(Rule):
+    id = "RL009"
+    name = "inferred-race"
+    summary = (
+        "lock-guarded attribute reachable from concurrent thread entries "
+        "with no guard lock held on some call path; holds-lock claims are "
+        "verified against every resolved caller"
+    )
+
+    #: entry kinds that imply >1 concurrent thread by themselves (a
+    #: ThreadingHTTPServer handler / worker pool / forked fleet runs
+    #: many instances of the same entry at once)
+    _SELF_CONCURRENT = ("handler", "pool", "fork")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = _concurrency_model(project)
+        for ctx in project.contexts:
+            for cls in _top_level_classes(ctx):
+                cls_qual = _class_qualname(ctx, cls)
+                guarded = self._guarded_attrs(ctx, cls)
+                if not guarded:
+                    continue
+                guard_locks = frozenset(
+                    model.registry.class_locks(model.graph, cls_qual)
+                )
+                if not guard_locks:
+                    continue  # RL005 flags the missing lock
+                yield from self._check_access_paths(
+                    model, cls_qual, guarded, guard_locks
+                )
+                yield from self._check_holds_lock_claims(
+                    model, ctx, cls, cls_qual, guard_locks
+                )
+
+    # -- annotation collection (same markers RL005 trusts locally) ---------
+
+    def _guarded_attrs(self, ctx: FileContext, cls: ast.ClassDef) -> Set[str]:
+        guarded: Set[str] = set()
+        for node in ast.walk(cls):
+            target = LockDisciplineRule._self_assign_target(node)
+            if target is None:
+                continue
+            if LockDisciplineRule.GUARD_MARK in ctx.comment_on(node.lineno):
+                guarded.add(target)
+        return guarded
+
+    # -- unguarded-path detection ------------------------------------------
+
+    def _check_access_paths(self, model, cls_qual, guarded, guard_locks):
+        from .callgraph import _local_nodes
+
+        graph = model.graph
+        # every `self.<guarded>` access in methods (and their nested
+        # defs) of the class, with the locally-held set at the access
+        accesses = []  # (FunctionInfo, Attribute node)
+        prefix = cls_qual + "."
+        for qual, info in graph.functions.items():
+            if not qual.startswith(prefix):
+                continue
+            if qual == prefix + "__init__":
+                continue  # construction happens-before publication
+            for node in _local_nodes(info.node):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in guarded
+                ):
+                    accesses.append((info, node))
+        if not accesses:
+            return
+        # concurrency precondition: the guarded state is touched by >1
+        # thread — two distinct entries, or one self-concurrent entry
+        reaching = {}
+        for info, _ in accesses:
+            for entry in graph.entries_reaching(info.qualname):
+                reaching[(entry.kind, entry.target)] = entry
+        concurrent = len(reaching) >= 2 or any(
+            e.kind in self._SELF_CONCURRENT for e in reaching.values()
+        )
+        if not concurrent:
+            return
+        reported: Set[Tuple[str, str]] = set()
+        for info, node in accesses:
+            facts = model.facts[info.qualname]
+            local = facts.held(node)
+            if local & guard_locks:
+                continue  # syntactically under the lock
+            key = (info.qualname, node.attr)
+            if key in reported:
+                continue
+            for entry in graph.entries_reaching(info.qualname):
+                must = model.must_held(entry.target).get(
+                    info.qualname, frozenset()
+                )
+                if (must | local) & guard_locks:
+                    continue  # this entry always holds a guard lock here
+                witness = self._witness(model, entry, info, node, guard_locks)
+                if witness is None:
+                    continue  # per-site analysis shows the path is guarded
+                reported.add(key)
+                yield info.ctx.finding(
+                    self.id,
+                    node,
+                    f"self.{node.attr} is lock-guarded but "
+                    f"{info.qualname} can be reached from "
+                    f"{entry.label} with no guard lock held "
+                    "(run with --explain RL009 for the witness path)",
+                    witness,
+                )
+                break
+
+    def _witness(self, model, entry, info, node, guard_locks):
+        for lock in sorted(guard_locks):
+            chain = model.lock_free_path(entry.target, info.qualname, lock)
+            if chain is not None:
+                lines = model.render_chain(entry, chain)
+                lines.append(
+                    f"  unguarded access: self.{node.attr} "
+                    f"({info.ctx.rel}:{node.lineno}) — "
+                    f"{lock.render()} not held"
+                )
+                return tuple(lines)
+        return None
+
+    # -- holds-lock claim verification -------------------------------------
+
+    def _check_holds_lock_claims(self, model, ctx, cls, cls_qual, guard_locks):
+        graph = model.graph
+        discipline = RULES_BY_CLASS["LockDisciplineRule"]
+        for fn in cls.body:
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not discipline._marked_holds_lock(ctx, fn):
+                continue
+            qual = f"{cls_qual}.{fn.name}"
+            sites = graph.callers.get(qual, [])
+            if not sites:
+                yield ctx.finding(
+                    self.id,
+                    fn,
+                    f"{qual} claims '# reprolint: holds-lock' but no "
+                    "resolved caller can discharge the claim — either the "
+                    "callers are invisible to the call graph (document "
+                    "with a suppression) or the annotation is stale",
+                )
+                continue
+            for site in sites:
+                if model.site_held(site) & guard_locks:
+                    continue
+                if site.caller == cls_qual + ".__init__":
+                    continue  # construction happens-before publication
+                caller_info = graph.functions.get(site.caller)
+                if caller_info is not None and discipline._marked_holds_lock(
+                    caller_info.ctx, caller_info.node
+                ):
+                    continue  # claim propagates up the annotated chain
+                yield ctx.finding(
+                    self.id,
+                    site.node,
+                    f"{site.caller} calls {qual} (annotated holds-lock) "
+                    "without holding "
+                    f"{', '.join(l.render() for l in sorted(guard_locks))}",
+                )
+
+
+class LockOrderCycleRule(Rule):
+    id = "RL010"
+    name = "lock-order-cycle"
+    summary = (
+        "cycle in the acquired-while-holding graph (potential deadlock); "
+        "re-acquiring a non-reentrant Lock is a guaranteed self-deadlock"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = _concurrency_model(project)
+        for steps in model.order_cycles():
+            first_lock, _, fn0, node0 = steps[0]
+            rel = model.rel_of(fn0)
+            witness = tuple(
+                f"{fn} acquires {b.render()} while holding {a.render()} "
+                f"({model.rel_of(fn)}:{getattr(node, 'lineno', '?')})"
+                for a, b, fn, node in steps
+            )
+            if len(steps) == 1 and steps[0][0] == steps[0][1]:
+                message = (
+                    f"non-reentrant lock {first_lock.render()} acquired "
+                    f"while already held in {fn0} — guaranteed "
+                    "self-deadlock (use RLock or restructure)"
+                )
+            else:
+                order = " -> ".join(a.render() for a, _, _, _ in steps)
+                order += f" -> {first_lock.render()}"
+                message = (
+                    f"lock-order cycle {order}: two threads taking these "
+                    "locks in opposite order deadlock"
+                )
+            yield Finding(
+                self.id,
+                rel,
+                getattr(node0, "lineno", 1),
+                getattr(node0, "col_offset", 0),
+                message,
+                witness,
+            )
+
+
+class BlockingUnderHotLockRule(Rule):
+    id = "RL011"
+    name = "blocking-under-hot-lock"
+    summary = (
+        "blocking call (join/wait/queue/socket/subprocess) while holding "
+        "a lock that HTTP request handlers contend on"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        from .callgraph import _local_nodes
+        from .locks import blocking_call_reason
+
+        model = _concurrency_model(project)
+        hot = model.hot_locks()
+        if not hot:
+            return
+        hot_label = {e.target: e.label for e in model.hot_entries()}
+        for qual, facts in model.facts.items():
+            info = facts.info
+            for node in _local_nodes(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                reason = blocking_call_reason(node)
+                if reason is None:
+                    continue
+                local = facts.held(node)
+                finding = self._check_site(
+                    model, hot, hot_label, info, node, reason, local
+                )
+                if finding is not None:
+                    yield finding
+
+    def _check_site(self, model, hot, hot_label, info, node, reason, local):
+        held_hot = local & hot
+        entry = None
+        if not held_hot:
+            for candidate in model.graph.entries_reaching(info.qualname):
+                must = model.must_held(candidate.target).get(
+                    info.qualname, frozenset()
+                )
+                held_hot = (must | local) & hot
+                if held_hot:
+                    entry = candidate
+                    break
+        if not held_hot:
+            return None
+        locks = ", ".join(l.render() for l in sorted(held_hot))
+        witness = []
+        if entry is not None:
+            chain = model.graph.call_path(entry.target, info.qualname) or []
+            witness.extend(model.render_chain(entry, chain))
+        witness.append(
+            f"  blocking call ({reason}) at {info.ctx.rel}:{node.lineno} "
+            f"while holding {locks}"
+        )
+        witness.append(
+            "  handler threads contending on that lock stall: "
+            + ", ".join(sorted(hot_label.values()))
+        )
+        return info.ctx.finding(
+            self.id,
+            node,
+            f"blocking call in {info.qualname} ({reason}) while holding "
+            f"{locks}, which the serve hot path contends on",
+            tuple(witness),
+        )
+
+
+# ---------------------------------------------------------------------------
 # registry
 
 
@@ -822,7 +1133,16 @@ RULES: Dict[str, Rule] = {
         WallClockRule(),
         UnseededRngRule(),
         FloatEqualityRule(),
+        InferredRaceRule(),
+        LockOrderCycleRule(),
+        BlockingUnderHotLockRule(),
     )
+}
+
+#: class-name lookup for rules that share helpers (RL009 reuses RL005's
+#: annotation parsing so the two can never drift apart)
+RULES_BY_CLASS: Dict[str, Rule] = {
+    type(rule).__name__: rule for rule in RULES.values()
 }
 
 

@@ -1097,7 +1097,7 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self.server.note_scored()
 
-    def _stream_ingest(self, stream, points, scores) -> None:
+    def _stream_ingest(self, stream: "StreamingDetector", points, scores) -> None:
         """Feed just-scored points into the online lifecycle. The reply
         path already validated and scored them, so failures here (e.g.
         distinct-mode coverage in a tiny window) must never turn a

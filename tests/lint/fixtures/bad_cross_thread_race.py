@@ -1,0 +1,35 @@
+"""Seeded RL009 fixture: Thread-target reachability into an unguarded
+access of a lock-guarded attribute.
+
+``Counter.bump`` takes the lock; ``Counter.flush`` touches the same
+guarded state bare. Both are reachable as ``threading.Thread`` targets,
+so the flush path races the bump path. The bare access carries an
+RL005 suppression precisely so the *interprocedural* rule is the one
+that has to catch it.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0  # reprolint: lock-guarded
+
+    def bump(self):
+        with self._lock:
+            self.total += 1
+
+    def flush(self):
+        value = self.total  # reprolint: disable=RL005
+        self.total = 0  # reprolint: disable=RL005
+        return value
+
+
+def start():
+    counter = Counter()
+    writer = threading.Thread(target=counter.bump, name="writer")
+    flusher = threading.Thread(target=counter.flush, name="flusher")
+    writer.start()
+    flusher.start()
+    return counter

@@ -1,0 +1,37 @@
+"""Seeded RL010 fixture: two locks taken in opposite orders.
+
+``transfer_out`` acquires ledger -> audit; ``transfer_in`` acquires
+audit -> ledger. Two threads running one each deadlock. The fixture is
+linted only when named explicitly (the fixtures dir is excluded from
+default walks).
+"""
+
+import threading
+
+_ledger_lock = threading.Lock()
+_audit_lock = threading.Lock()
+
+BALANCE = {"amount": 0}
+AUDIT = []
+
+
+def transfer_out(amount):
+    with _ledger_lock:
+        with _audit_lock:
+            BALANCE["amount"] -= amount
+            AUDIT.append(("out", amount))
+
+
+def transfer_in(amount):
+    with _audit_lock:
+        with _ledger_lock:
+            BALANCE["amount"] += amount
+            AUDIT.append(("in", amount))
+
+
+def start():
+    a = threading.Thread(target=transfer_out, name="xfer-out")
+    b = threading.Thread(target=transfer_in, name="xfer-in")
+    a.start()
+    b.start()
+    return a, b

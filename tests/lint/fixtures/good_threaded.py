@@ -1,0 +1,48 @@
+"""Clean concurrency fixture: same thread shapes as the bad fixtures —
+guarded state, two thread entries, nested locks — but with consistent
+lock order and every guarded access under the lock. All of RL009,
+RL010 and RL011 must stay silent here.
+"""
+
+import threading
+
+
+class SafeCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0  # reprolint: lock-guarded
+
+    def bump(self):
+        with self._lock:
+            self.total += 1
+
+    def flush(self):
+        with self._lock:
+            value = self.total
+            self.total = 0
+        return value
+
+
+_outer = threading.Lock()
+_inner = threading.Lock()
+
+
+def ordered_one():
+    with _outer:
+        with _inner:
+            pass
+
+
+def ordered_two():
+    with _outer:
+        with _inner:
+            pass
+
+
+def start():
+    counter = SafeCounter()
+    writer = threading.Thread(target=counter.bump, name="writer")
+    flusher = threading.Thread(target=counter.flush, name="flusher")
+    writer.start()
+    flusher.start()
+    return counter

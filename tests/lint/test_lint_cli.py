@@ -28,7 +28,9 @@ class TestSelfCheck:
         report = lint_paths(["src", "tests"], root=ROOT)
         assert report.ok, report.to_text()
         assert report.files_checked > 100
-        assert report.rules_run == [f"RL00{i}" for i in range(1, 9)]
+        assert report.rules_run == [
+            *(f"RL00{i}" for i in range(1, 10)), "RL010", "RL011",
+        ]
 
     def test_obs_registry_is_current(self):
         # Regenerating the registry from producer sites must reproduce
@@ -102,7 +104,7 @@ class TestOutputFormats:
         rc = main(["--list-rules"])
         assert rc == 0
         out = capsys.readouterr().out
-        for rule_id in (f"RL00{i}" for i in range(1, 9)):
+        for rule_id in (*(f"RL00{i}" for i in range(1, 10)), "RL010", "RL011"):
             assert rule_id in out
 
     def test_select_and_ignore(self, capsys):

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Shrink-only ratchet for repro.lint findings.
+
+CI runs the analyzer with ``--format json`` and feeds the report here.
+The committed ``lint-baseline.json`` records the accepted debt as
+per-(rule, file) finding counts. The comparison is one-directional:
+
+* a finding count above its baseline entry (or a new (rule, file) pair)
+  fails the build — new debt never lands;
+* a count below its baseline entry also fails, telling you to re-run
+  with ``--update`` — fixed debt is locked in immediately so it cannot
+  quietly regress later.
+
+``--update`` rewrites the baseline, but only if every count shrank or
+held; it refuses to grow the baseline (that is what suppressions with
+reason strings are for).
+
+The repo is currently clean (empty baseline), so in practice this is a
+"no new findings, ever" gate that will also hold the line if debt is
+ever deliberately baselined in.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent.parent / "lint-baseline.json"
+
+
+def count_findings(report):
+    counts = {}
+    for finding in report.get("findings", []):
+        key = f"{finding['rule']}:{finding['path']}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path):
+    payload = json.loads(path.read_text())
+    return payload.get("findings", {})
+
+
+def compare(current, baseline):
+    """Return (new_debt, fixed_debt) key lists."""
+    new_debt = []
+    fixed_debt = []
+    for key in sorted(set(current) | set(baseline)):
+        have = current.get(key, 0)
+        allowed = baseline.get(key, 0)
+        if have > allowed:
+            new_debt.append((key, have, allowed))
+        elif have < allowed:
+            fixed_debt.append((key, have, allowed))
+    return new_debt, fixed_debt
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="lint JSON report to check")
+    parser.add_argument(
+        "--baseline", default=str(BASELINE), help="baseline file location"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline (only allowed to shrink)",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(Path(args.report).read_text())
+    current = count_findings(report)
+    baseline_path = Path(args.baseline)
+    baseline = load_baseline(baseline_path)
+    new_debt, fixed_debt = compare(current, baseline)
+
+    if new_debt:
+        print("lint ratchet: new findings above the committed baseline:")
+        for key, have, allowed in new_debt:
+            print(f"  {key}: {have} finding(s), baseline allows {allowed}")
+        print(
+            "fix them or suppress with a reason string"
+            " (# reprolint: disable=RLxxx -- why); the baseline only shrinks."
+        )
+        return 1
+
+    if args.update:
+        baseline_path.write_text(
+            json.dumps({"findings": current}, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"lint ratchet: baseline updated ({len(current)} entries)")
+        return 0
+
+    if fixed_debt:
+        print("lint ratchet: findings below baseline — lock in the win:")
+        for key, have, allowed in fixed_debt:
+            print(f"  {key}: {have} finding(s), baseline still allows {allowed}")
+        print(f"run: python tools/lint_ratchet.py {args.report} --update")
+        return 1
+
+    print(
+        f"lint ratchet: OK ({sum(current.values())} finding(s),"
+        f" baseline {sum(baseline.values())})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
